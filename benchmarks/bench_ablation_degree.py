@@ -1,0 +1,128 @@
+"""Ablation: the degree parameter (|M_C|) and the kappa threshold knob.
+
+DESIGN.md calls out degree selection as the central design choice of the
+estimator: too small a component set starves the inner GEMM (figure 8's
+left slope), too large a set overshoots the cache window (right slope).
+This ablation times *every* degree on a 5th-order input, marks the
+estimator's pick, and shows how the kappa knob moves the MSTH/MLTH
+window and hence the chosen degree.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import print_header, print_series
+from repro.analysis import CORE_I7_4770K
+from repro.core import InTensLi
+from repro.core.codegen import compile_plan
+from repro.core.inttm import default_plan
+from repro.core.partition import derive_thresholds
+from repro.gemm.bench import default_shape_grid, synthetic_profile
+from repro.perf.flops import gflops_rate, ttm_flops
+from repro.perf.timing import time_callable
+from repro.tensor.dense import DenseTensor
+from repro.tensor.generate import random_tensor
+from repro.util.formatting import format_bytes
+
+SHAPE = (12, 12, 12, 12, 12)
+MODE = 0
+J = 16
+
+
+def degree_sweep():
+    x = random_tensor(SHAPE, seed=0)
+    u = np.random.default_rng(1).standard_normal((J, SHAPE[MODE]))
+    rows = []
+    for degree in range(1, 5):
+        plan = default_plan(SHAPE, MODE, J, x.layout, degree=degree,
+                            kernel="blas")
+        fn = compile_plan(plan)
+        out = DenseTensor.empty(plan.out_shape, x.layout)
+        seconds = time_callable(
+            lambda: fn(x.data, u, out.data), min_repeats=2, min_seconds=0.05
+        )
+        rows.append(
+            (degree, plan.kernel_working_set_bytes,
+             gflops_rate(ttm_flops(SHAPE, J), seconds))
+        )
+    return rows
+
+
+# -- pytest-benchmark targets --------------------------------------------------
+
+
+@pytest.mark.parametrize("degree", [1, 2, 3, 4])
+def test_ablation_degree(benchmark, degree):
+    x = random_tensor(SHAPE, seed=0)
+    u = np.random.default_rng(1).standard_normal((J, SHAPE[MODE]))
+    plan = default_plan(SHAPE, MODE, J, x.layout, degree=degree,
+                        kernel="blas")
+    fn = compile_plan(plan)
+    out = DenseTensor.empty(plan.out_shape, x.layout)
+    benchmark.pedantic(
+        lambda: fn(x.data, u, out.data), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["kernel_ws"] = format_bytes(
+        plan.kernel_working_set_bytes
+    )
+
+
+def test_ablation_higher_degree_helps_here():
+    """On this input, merging more modes never hurts badly: the best
+    degree outperforms degree 1 (small-kernel starvation)."""
+    rows = degree_sweep()
+    best = max(rate for _d, _ws, rate in rows)
+    degree1 = rows[0][2]
+    assert best >= degree1
+
+
+def test_ablation_kappa_moves_the_window():
+    profile = synthetic_profile(
+        default_shape_grid(), CORE_I7_4770K, threads=(4,)
+    )
+    wide = derive_thresholds(profile, 16, threads=4, kappa=0.5)
+    narrow = derive_thresholds(profile, 16, threads=4, kappa=0.95)
+    assert wide.mlth_bytes >= narrow.mlth_bytes
+
+
+def main():
+    print_header(
+        f"Ablation - degree sweep, {SHAPE} mode-{MODE + 1} product, J={J}"
+    )
+    lib = InTensLi()
+    chosen = lib.plan(SHAPE, MODE, J)
+    rows = [
+        [
+            d,
+            format_bytes(ws),
+            f"{rate:7.2f}",
+            "<- estimator" if d == chosen.degree else "",
+        ]
+        for d, ws, rate in degree_sweep()
+    ]
+    print_series(["degree", "kernel working set", "GFLOP/s", ""], rows)
+
+    print("kappa sensitivity (synthetic Core i7 profile):")
+    profile = synthetic_profile(
+        default_shape_grid(), CORE_I7_4770K, threads=(4,)
+    )
+    krows = []
+    for kappa in (0.5, 0.7, 0.8, 0.9, 0.95):
+        t = derive_thresholds(profile, 16, threads=4, kappa=kappa)
+        krows.append(
+            [kappa, format_bytes(t.msth_bytes), format_bytes(t.mlth_bytes)]
+        )
+    print_series(["kappa", "MSTH", "MLTH"], krows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Extension bench: distributed TTM grid comparison (paper §7 conclusion).
+
+The paper proposes its InTTM as the intra-node component of distributed
+TTMs.  This bench runs the simulated block-distributed product over every
+processor-grid factorization of a fixed rank count, comparing measured
+communication words (factor scatter + partial all-reduce) and load
+balance, and checks that the closed-form model picks the best grid —
+notably, that partitioning the *contracted* mode is penalized when
+J << I_n (the all-reduce moves output-sized data).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import print_header, print_series
+from repro.distributed import (
+    ProcessGrid,
+    best_grid,
+    communication_words,
+    distributed_ttm,
+    enumerate_grids,
+)
+from repro.tensor.generate import random_tensor
+from repro.util.formatting import format_bytes
+
+SHAPE = (48, 48, 48)
+MODE = 1
+J = 8
+NPROC = 8
+
+
+def sweep(nproc=NPROC):
+    x = random_tensor(SHAPE, seed=0)
+    u = np.random.default_rng(1).standard_normal((J, SHAPE[MODE]))
+    rows = []
+    for grid in enumerate_grids(3, nproc):
+        try:
+            grid.validate_for(SHAPE)
+        except Exception:
+            continue
+        y, report = distributed_ttm(x, u, MODE, grid)
+        rows.append((grid, report))
+    return rows
+
+
+# -- pytest-benchmark targets --------------------------------------------------
+
+
+@pytest.mark.parametrize("dims", [(1, 1, 8), (1, 8, 1), (2, 2, 2)])
+def test_distributed_ttm_grids(benchmark, dims):
+    x = random_tensor(SHAPE, seed=0)
+    u = np.random.default_rng(1).standard_normal((J, SHAPE[MODE]))
+    grid = ProcessGrid(dims)
+    benchmark.pedantic(
+        lambda: distributed_ttm(x, u, MODE, grid), rounds=2, iterations=1,
+        warmup_rounds=1,
+    )
+    _y, report = distributed_ttm(x, u, MODE, grid)
+    benchmark.extra_info["comm_words"] = report.total_comm_words
+
+
+def test_model_choice_minimizes_measured_comm():
+    rows = sweep(nproc=4)
+    min_measured = min(r[1].total_comm_words for r in rows)
+    modelled_best = best_grid(SHAPE, J, MODE, 4)
+    assert communication_words(SHAPE, J, MODE, modelled_best) <= min_measured
+
+
+def main():
+    print_header(
+        f"Extension - distributed TTM over {NPROC} simulated ranks, "
+        f"{SHAPE} mode-{MODE + 1}, J={J}"
+    )
+    rows = []
+    chosen = best_grid(SHAPE, J, MODE, NPROC)
+    for grid, report in sorted(
+        sweep(), key=lambda r: r[1].total_comm_words
+    ):
+        rows.append(
+            [
+                "x".join(map(str, grid.dims)),
+                f"{report.scatter_u_words:,}",
+                f"{report.allreduce_words:,}",
+                format_bytes(report.total_comm_words * 8),
+                f"{report.load_imbalance:.2f}",
+                "<- model pick" if grid.dims == chosen.dims else "",
+            ]
+        )
+    print_series(
+        ["grid", "scatter words", "allreduce words", "total comm",
+         "imbalance", ""],
+        rows,
+    )
+    print(
+        "Grids that split the contracted mode pay the all-reduce; the "
+        "model prefers splitting the free modes (output stays local)."
+    )
+
+
+if __name__ == "__main__":
+    main()

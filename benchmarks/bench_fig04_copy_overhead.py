@@ -1,0 +1,113 @@
+"""Figure 4: transform (copy) overhead of the conventional TTM.
+
+Paper claim: for a mode-2 product with a low-rank output (J = 16) on
+3rd/4th/5th-order tensors, the matricize+tensorize *transform* phase of
+Algorithm 1 accounts for ~70% of the running time and ~50% of storage.
+
+Reproduction: run the Tensor Toolbox-style baseline under the phase
+profiler and report each phase's fraction of time and space across the
+same order/size sweep (sizes scaled to this container).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+if __package__ in (None, ""):  # script mode: make `benchmarks.*` importable
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import (
+    BASELINE_SIZE_GRID,
+    DEFAULT_J,
+    matrix_for,
+    print_header,
+    print_series,
+)
+from repro.baselines import ttm_copy
+from repro.perf.profiler import PhaseProfiler
+from repro.tensor.generate import random_tensor
+
+MODE = 1  # the paper's mode-2 product (1-based) is mode 1 here.
+
+
+def profile_case(order: int, m: int, j: int = DEFAULT_J, repeats: int = 3):
+    """Aggregate transform/multiply fractions over *repeats* runs."""
+    shape = (m,) * order
+    x = random_tensor(shape, seed=order * 1000 + m)
+    u = matrix_for(shape, MODE, j)
+    prof = PhaseProfiler()
+    for _ in range(repeats):
+        ttm_copy(x, u, MODE, profiler=prof)
+    p = prof.profile
+    return {
+        "shape": shape,
+        "time_transform": p.time_fraction("transform"),
+        "time_multiply": p.time_fraction("multiply"),
+        "space_transform": p.space_fraction("transform"),
+        "space_multiply": p.space_fraction("multiply"),
+    }
+
+
+def series(orders=(3, 4, 5)):
+    rows = []
+    for order in orders:
+        for m in BASELINE_SIZE_GRID[order]:
+            rows.append(profile_case(order, m))
+    return rows
+
+
+# -- pytest-benchmark targets --------------------------------------------------
+
+
+@pytest.mark.parametrize("order", [3, 4, 5])
+def test_fig04_copy_ttm_with_profile(benchmark, order):
+    m = BASELINE_SIZE_GRID[order][-1]
+    shape = (m,) * order
+    x = random_tensor(shape, seed=order)
+    u = matrix_for(shape, MODE)
+    benchmark.pedantic(
+        lambda: ttm_copy(x, u, MODE), rounds=3, iterations=1, warmup_rounds=1
+    )
+    stats = profile_case(order, m, repeats=2)
+    benchmark.extra_info["transform_time_fraction"] = round(
+        stats["time_transform"], 3
+    )
+    benchmark.extra_info["transform_space_fraction"] = round(
+        stats["space_transform"], 3
+    )
+    # The paper's qualitative claim: the transform phase is substantial.
+    assert stats["time_transform"] > 0.15
+    assert 0.3 < stats["space_transform"] < 0.7
+
+
+def main():
+    print_header(
+        "Figure 4 - profile of Algorithm 1 (mode-2 product, J=16): "
+        "transform vs multiply"
+    )
+    rows = []
+    for stats in series():
+        rows.append(
+            [
+                len(stats["shape"]),
+                "x".join(str(s) for s in stats["shape"]),
+                f"{stats['time_transform'] * 100:5.1f}%",
+                f"{stats['time_multiply'] * 100:5.1f}%",
+                f"{stats['space_transform'] * 100:5.1f}%",
+                f"{stats['space_multiply'] * 100:5.1f}%",
+            ]
+        )
+    print_series(
+        ["order", "shape", "time:transform", "time:multiply",
+         "space:transform", "space:multiply"],
+        rows,
+    )
+    print("Paper: transform ~70% of time, ~50% of space at these regimes.")
+
+
+if __name__ == "__main__":
+    main()

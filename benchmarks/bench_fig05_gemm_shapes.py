@@ -1,0 +1,110 @@
+"""Figure 5: GEMM performance varies strongly with operand shape.
+
+Paper claim: for ``C = B A^T`` with B fixed at m = 16 rows, throughput
+varies by roughly a factor of 6 across (k, n) in 2^4..2^12, peaking well
+below the large-square GEMM rate; very large k or n *decreases*
+performance.
+
+Reproduction: measure NumPy's BLAS over the same power-of-two grid
+(m = 16), print the GFLOP/s heatmap, and show the roofline-model heatmap
+for the paper's Core i7 preset next to it.  The container has one core,
+so only the single-thread panel (figure 5a) is measured; the model
+supplies the 4-thread panel (5b).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import print_header, print_series
+from repro.analysis import CORE_I7_4770K, gemm_model_gflops
+from repro.gemm import measure_profile
+from repro.gemm.bench import default_shape_grid
+
+M = 16
+K_EXPONENTS = tuple(range(4, 13))
+N_EXPONENTS = tuple(range(4, 13))
+
+
+def measured_grid(min_seconds=0.01):
+    shapes = default_shape_grid((M,), K_EXPONENTS, N_EXPONENTS)
+    profile = measure_profile(shapes, threads=(1,), min_seconds=min_seconds)
+    return {
+        (p.k, p.n): p.gflops for p in profile.points
+    }
+
+
+def heatmap_rows(lookup):
+    rows = []
+    for ne in N_EXPONENTS:
+        row = [f"n=2^{ne}"]
+        for ke in K_EXPONENTS:
+            row.append(f"{lookup[(2**ke, 2**ne)]:6.1f}")
+        rows.append(row)
+    return rows
+
+
+# -- pytest-benchmark targets --------------------------------------------------
+
+
+@pytest.mark.parametrize("ke,ne", [(6, 6), (9, 9), (12, 6), (6, 12)])
+def test_fig05_gemm_shape_points(benchmark, ke, ne):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((M, 2**ke))
+    b = rng.standard_normal((2**ke, 2**ne))
+    out = np.empty((M, 2**ne))
+    benchmark.pedantic(
+        lambda: np.matmul(a, b, out=out), rounds=5, iterations=2,
+        warmup_rounds=1,
+    )
+    flops = 2 * M * 2**ke * 2**ne
+    benchmark.extra_info["gflops"] = round(
+        flops / benchmark.stats["min"] / 1e9, 2
+    )
+
+
+def test_fig05_shape_variation_factor():
+    """The paper's 'factor of ~6' spread across the (k, n) grid."""
+    lookup = measured_grid(min_seconds=0.005)
+    rates = list(lookup.values())
+    spread = max(rates) / min(rates)
+    assert spread > 3.0, f"shape spread only {spread:.1f}x"
+
+
+def main():
+    print_header(
+        "Figure 5 - GEMM (m=16) GFLOP/s over k (cols) x n (rows), "
+        "measured single-thread"
+    )
+    lookup = measured_grid()
+    headers = ["n \\ k"] + [f"2^{ke}" for ke in K_EXPONENTS]
+    print_series(headers, heatmap_rows(lookup))
+    rates = list(lookup.values())
+    print(
+        f"measured spread: {max(rates) / min(rates):.1f}x "
+        f"(paper: ~6x), max {max(rates):.1f} GFLOP/s"
+    )
+    print()
+    print("Roofline model, Core i7-4770K preset, 4 threads (figure 5b):")
+    model = {
+        (2**ke, 2**ne): gemm_model_gflops(M, 2**ke, 2**ne, CORE_I7_4770K, 4)
+        for ke in K_EXPONENTS
+        for ne in N_EXPONENTS
+    }
+    print_series(headers, heatmap_rows(model))
+    mrates = list(model.values())
+    print(
+        f"model spread: {max(mrates) / min(mrates):.1f}x, "
+        f"max {max(mrates):.1f} GFLOP/s (paper: ~140 GFLOP/s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Figure 8 + §4.3.1: the peaked MM curve and the MSTH/MLTH thresholds.
+
+Paper claim: with m = 16 and k = 512 fixed, GEMM throughput rises with
+n, peaks, then falls; drawing a horizontal line at kappa = 0.8 of the
+peak and taking the working-set sizes of the two just-below-the-line
+points (averaged over k) yields the thresholds MSTH ~= 1.04 MB and
+MLTH ~= 7.04 MB on their Core i7.
+
+Reproduction: measure the same n-sweep on this host, derive MSTH/MLTH
+with the identical procedure, and also derive them from the deterministic
+Core i7 roofline profile for comparison with the paper's values.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import print_header, print_series
+from repro.analysis import CORE_I7_4770K
+from repro.core.partition import derive_thresholds
+from repro.gemm import measure_profile, synthetic_profile
+from repro.util.formatting import format_bytes
+
+M = 16
+K_VALUES = (256, 512, 1024)
+N_EXPONENTS = tuple(range(4, 14))
+
+
+def measured_profile(min_seconds=0.01):
+    shapes = [(M, k, 2**ne) for k in K_VALUES for ne in N_EXPONENTS]
+    return measure_profile(shapes, threads=(1,), min_seconds=min_seconds)
+
+
+def model_profile():
+    shapes = [(M, k, 2**ne) for k in K_VALUES for ne in N_EXPONENTS]
+    return synthetic_profile(shapes, CORE_I7_4770K, threads=(4,))
+
+
+# -- pytest-benchmark targets --------------------------------------------------
+
+
+def test_fig08_model_thresholds_match_paper_scale():
+    """The Core i7 model yields thresholds within the paper's ballpark."""
+    t = derive_thresholds(model_profile(), M, threads=4)
+    # Paper: MSTH = 1.04 MB, MLTH = 7.04 MB; accept the right order of
+    # magnitude (the model is qualitative).
+    assert 64 * 1024 < t.msth_bytes < 8 * 1024**2
+    assert 1024**2 < t.mlth_bytes < 64 * 1024**2
+    assert t.msth_bytes < t.mlth_bytes
+
+
+@pytest.mark.parametrize("k", [512])
+def test_fig08_n_sweep_kernel(benchmark, k):
+    rng = np.random.default_rng(0)
+    n = 2**10
+    a = rng.standard_normal((M, k))
+    b = rng.standard_normal((k, n))
+    out = np.empty((M, n))
+    benchmark.pedantic(
+        lambda: np.matmul(a, b, out=out), rounds=5, iterations=2,
+        warmup_rounds=1,
+    )
+    profile = measured_profile(min_seconds=0.005)
+    t = derive_thresholds(profile, M, threads=1)
+    benchmark.extra_info["msth"] = format_bytes(t.msth_bytes)
+    benchmark.extra_info["mlth"] = format_bytes(t.mlth_bytes)
+
+
+def main():
+    print_header(
+        "Figure 8 - MM GFLOP/s vs n (m=16), and MSTH/MLTH derivation"
+    )
+    profile = measured_profile()
+    for k in K_VALUES:
+        series = profile.series(m=M, k=k, threads=1)
+        rows = [
+            [f"2^{int(np.log2(p.n))}", f"{p.gflops:6.1f}",
+             format_bytes(p.working_set_bytes)]
+            for p in series
+        ]
+        print(f"k = {k}:")
+        print_series(["n", "GFLOP/s", "working set"], rows)
+    measured = derive_thresholds(profile, M, threads=1)
+    print(
+        f"measured thresholds: MSTH = {format_bytes(measured.msth_bytes)}, "
+        f"MLTH = {format_bytes(measured.mlth_bytes)} (kappa = 0.8)"
+    )
+    model = derive_thresholds(model_profile(), M, threads=4)
+    print(
+        f"Core i7 roofline model: MSTH = {format_bytes(model.msth_bytes)}, "
+        f"MLTH = {format_bytes(model.mlth_bytes)}"
+    )
+    print("paper (Core i7, measured): MSTH = 1.04 MiB, MLTH = 7.04 MiB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,148 @@
+"""Extension bench: MTTKRP — conventional vs in-place (paper §6).
+
+The related-work section credits Ravindran et al. [33] with an in-place
+MTTKRP over the slice representation and positions the paper's merged
+sub-tensors as the generalization.  This bench compares:
+
+* ``mttkrp``          — unfold + full Khatri-Rao + one GEMM (the
+  conventional form; materializes a ``(|X|/I_n) x R`` KRP);
+* ``mttkrp_inplace``  — merged-trailing-modes form (materializes only a
+  ``P x R`` partial KRP, reads the tensor through views);
+* ``mttkrp_sparse``   — the SPLATT-style kernel on a sparsified input.
+
+Shapes follow a CP-ALS sweep (rank 16) over a 4th-order tensor.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import print_header, print_series
+from repro.decomp.cp import khatri_rao, mttkrp, mttkrp_inplace
+from repro.perf.timing import time_callable
+from repro.sparse import SparseTensor, mttkrp_sparse
+from repro.tensor.generate import random_tensor
+from repro.util.formatting import format_bytes
+
+SHAPE = (48, 32, 24, 16)
+RANK = 16
+
+
+def setup(seed=0):
+    x = random_tensor(SHAPE, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    factors = [rng.standard_normal((s, RANK)) for s in SHAPE]
+    return x, factors
+
+
+def krp_bytes_full(mode: int) -> int:
+    rows = 1
+    for m, s in enumerate(SHAPE):
+        if m != mode:
+            rows *= s
+    return rows * RANK * 8
+
+
+def krp_bytes_inplace(mode: int) -> int:
+    # The kernel merges the larger side of `mode` (fewer loop iterations)
+    # and materializes only that side's Khatri-Rao product.
+    trailing = 1
+    for m in range(mode + 1, len(SHAPE)):
+        trailing *= SHAPE[m]
+    leading = 1
+    for m in range(0, mode):
+        leading *= SHAPE[m]
+    return max(trailing, leading) * RANK * 8
+
+
+# -- pytest-benchmark targets --------------------------------------------------
+
+
+@pytest.mark.parametrize("variant", ["conventional", "inplace"])
+def test_mttkrp_variants(benchmark, variant):
+    x, factors = setup()
+    fn = mttkrp if variant == "conventional" else mttkrp_inplace
+    benchmark.pedantic(
+        lambda: fn(x, factors, 1), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+
+def test_mttkrp_inplace_materializes_less():
+    for mode in range(len(SHAPE)):
+        assert krp_bytes_inplace(mode) <= krp_bytes_full(mode)
+    # Interior modes split the KRP: strictly less than the full product.
+    assert krp_bytes_inplace(1) < krp_bytes_full(1)
+    assert krp_bytes_inplace(2) < krp_bytes_full(2)
+
+
+def main():
+    print_header(
+        f"Extension - MTTKRP variants, {SHAPE} rank {RANK} (CP-ALS kernel)"
+    )
+    from repro.sparse import CsfTensor, csf_mttkrp
+
+    x, factors = setup()
+    x_sp = SparseTensor.from_dense(
+        np.where(np.random.default_rng(2).random(SHAPE) < 0.02, x.data, 0.0)
+    )
+    csfs = {
+        mode: CsfTensor.from_coo(
+            x_sp,
+            mode_order=(mode,)
+            + tuple(m for m in range(len(SHAPE)) if m != mode),
+        )
+        for mode in range(len(SHAPE))
+    }
+    rows = []
+    for mode in range(len(SHAPE)):
+        t_conv = time_callable(
+            lambda: mttkrp(x, factors, mode), min_repeats=2, min_seconds=0.05
+        )
+        t_inpl = time_callable(
+            lambda: mttkrp_inplace(x, factors, mode), min_repeats=2,
+            min_seconds=0.05,
+        )
+        t_sparse = time_callable(
+            lambda: mttkrp_sparse(x_sp, factors, mode), min_repeats=2,
+            min_seconds=0.05,
+        )
+        t_csf = time_callable(
+            lambda: csf_mttkrp(csfs[mode], factors, mode), min_repeats=2,
+            min_seconds=0.05,
+        )
+        rows.append(
+            [
+                mode,
+                f"{t_conv * 1e3:7.2f} ms",
+                f"{t_inpl * 1e3:7.2f} ms",
+                f"{t_sparse * 1e3:7.2f} ms",
+                f"{t_csf * 1e3:7.2f} ms",
+                format_bytes(krp_bytes_full(mode)),
+                format_bytes(krp_bytes_inplace(mode)),
+            ]
+        )
+    print_series(
+        ["mode", "conventional", "in-place", "COO sparse", "CSF sparse",
+         "KRP bytes (conv)", "KRP bytes (in-place)"],
+        rows,
+    )
+    print(
+        f"sparse kernels run on a 2%-density sparsification "
+        f"({x_sp.nnz:,} nnz); CSF compresses its coordinates "
+        f"{csfs[0].compression_vs_coo():.2f}x vs COO."
+    )
+    print(
+        "The in-place form trades one big GEMM for per-slab GEMMs with a "
+        "much smaller materialized Khatri-Rao product."
+    )
+
+
+if __name__ == "__main__":
+    main()

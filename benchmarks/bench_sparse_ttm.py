@@ -1,0 +1,115 @@
+"""Extension bench: sparse TTM vs densify-and-multiply (paper §7).
+
+The paper's future work names sparse tensor primitives as the next
+target.  This bench locates the density crossover: below it, the COO
+kernel with a semi-sparse output wins; above it, densifying and calling
+the dense in-place TTM wins — the trade every sparse tensor library
+navigates.  It also reports the semi-sparse output's storage advantage,
+which shrinks as TTM output fibers densify (the memory-blowup problem
+Kolda & Sun's METTM addresses).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import print_header, print_series
+from repro.core.inttm import ttm_inplace
+from repro.perf.timing import time_callable
+from repro.sparse import random_sparse, ttm_sparse
+from repro.tensor.dense import DenseTensor
+
+SHAPE = (64, 64, 64)
+MODE = 1
+J = 8
+DENSITIES = (0.001, 0.005, 0.02, 0.08, 0.3)
+
+
+def compare_at(density: float, seed=0):
+    x_sp = random_sparse(SHAPE, density, seed=seed)
+    u = np.random.default_rng(1).standard_normal((J, SHAPE[MODE]))
+    x_dense = x_sp.to_dense()
+    t_sparse = time_callable(
+        lambda: ttm_sparse(x_sp, u, MODE), min_repeats=2, min_seconds=0.02
+    )
+    t_dense = time_callable(
+        lambda: ttm_inplace(x_dense, u, MODE), min_repeats=2,
+        min_seconds=0.02,
+    )
+    semi = ttm_sparse(x_sp, u, MODE)
+    dense_words = semi.to_dense().size
+    return {
+        "density": density,
+        "nnz": x_sp.nnz,
+        "t_sparse": t_sparse,
+        "t_dense": t_dense,
+        "fiber_density": semi.densification,
+        "storage_ratio": semi.storage_words / dense_words,
+    }
+
+
+# -- pytest-benchmark targets --------------------------------------------------
+
+
+@pytest.mark.parametrize("density", [0.005, 0.3])
+def test_sparse_ttm_densities(benchmark, density):
+    x = random_sparse(SHAPE, density, seed=0)
+    u = np.random.default_rng(1).standard_normal((J, SHAPE[MODE]))
+    benchmark.pedantic(
+        lambda: ttm_sparse(x, u, MODE), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["nnz"] = x.nnz
+
+
+def test_sparse_wins_at_low_density():
+    case = compare_at(0.001)
+    assert case["t_sparse"] < case["t_dense"]
+
+
+def test_semisparse_storage_tracks_fiber_density():
+    sparse_case = compare_at(0.001)
+    dense_case = compare_at(0.3)
+    assert sparse_case["storage_ratio"] < dense_case["storage_ratio"]
+    assert sparse_case["fiber_density"] < dense_case["fiber_density"]
+
+
+def main():
+    print_header(
+        f"Extension - sparse vs dense TTM, {SHAPE} mode-{MODE + 1}, J={J}"
+    )
+    rows = []
+    for density in DENSITIES:
+        case = compare_at(density)
+        winner = "sparse" if case["t_sparse"] < case["t_dense"] else "dense"
+        rows.append(
+            [
+                f"{case['density']:.3f}",
+                f"{case['nnz']:,}",
+                f"{case['t_sparse'] * 1e3:8.2f} ms",
+                f"{case['t_dense'] * 1e3:8.2f} ms",
+                winner,
+                f"{case['fiber_density'] * 100:5.1f}%",
+                f"{case['storage_ratio'] * 100:5.1f}%",
+            ]
+        )
+    print_series(
+        ["density", "nnz", "sparse TTM", "dense InTTM", "winner",
+         "output fibers", "semi-sparse storage"],
+        rows,
+    )
+    print(
+        "Expected: sparse wins at low density; output fibers densify with "
+        "input density (the memory-blowup effect METTM mitigates)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Table 1 + Observation 3: TTM representation forms vs BLAS level.
+
+Paper claim: the different organizations of a mode-1 product on a
+3rd-order tensor map to BLAS levels — scalar loops ("Slow"), fiber
+(Level 2), slice (Level 3, no transformation), matricized (Level 3,
+with a physical transformation) — and higher levels have better
+locality, hence higher throughput.
+
+Reproduction: time all four forms (plus the in-place merged-mode form
+this paper contributes) on the same input and print level and GFLOP/s.
+The scalar form is evaluated at a reduced size (pure Python loops) and
+marked as such.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import matrix_for, print_header, print_series, time_ttm
+from repro.baselines import (
+    REPRESENTATIONS,
+    ttm_fiber_form,
+    ttm_matricized_form,
+    ttm_slice_form,
+)
+from repro.core.inttm import ttm_inplace
+from repro.tensor.generate import random_tensor
+
+SHAPE = (96, 96, 96)
+SCALAR_SHAPE = (12, 12, 12)
+MODE = 0  # the paper's mode-1 product
+J = 16
+
+
+def run_forms():
+    x = random_tensor(SHAPE, seed=0)
+    u = matrix_for(SHAPE, MODE, J)
+    x_small = random_tensor(SCALAR_SHAPE, seed=0)
+    u_small = matrix_for(SCALAR_SHAPE, MODE, J, seed=1)
+    rows = []
+    scalar_fn = REPRESENTATIONS["scalar"][0]
+    _, scalar_rate = time_ttm(
+        lambda: scalar_fn(x_small, u_small, MODE), SCALAR_SHAPE, J,
+        min_seconds=0.01, min_repeats=1,
+    )
+    rows.append(("scalar", "Slow", "no", SCALAR_SHAPE, scalar_rate))
+    for name, fn in (
+        ("fiber", ttm_fiber_form),
+        ("slice", ttm_slice_form),
+        ("matricized", ttm_matricized_form),
+    ):
+        _, rate = time_ttm(lambda: fn(x, u, MODE), SHAPE, J)
+        level = REPRESENTATIONS[name][1]
+        transform = "yes" if REPRESENTATIONS[name][2] else "no"
+        rows.append((name, level, transform, SHAPE, rate))
+    _, rate = time_ttm(lambda: ttm_inplace(x, u, MODE), SHAPE, J)
+    rows.append(("in-place merged (ours)", "L3", "no", SHAPE, rate))
+    return rows
+
+
+# -- pytest-benchmark targets --------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name", ["fiber", "slice", "matricized", "inplace"]
+)
+def test_table1_forms(benchmark, name):
+    x = random_tensor(SHAPE, seed=0)
+    u = matrix_for(SHAPE, MODE, J)
+    fns = {
+        "fiber": ttm_fiber_form,
+        "slice": ttm_slice_form,
+        "matricized": ttm_matricized_form,
+        "inplace": ttm_inplace,
+    }
+    fn = fns[name]
+    benchmark.pedantic(
+        lambda: fn(x, u, MODE), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+
+def test_table1_level3_beats_level2():
+    """Locality ordering: merged Level-3 form beats the fiber form."""
+    x = random_tensor((64, 64, 64), seed=1)
+    u = matrix_for((64, 64, 64), MODE, J)
+    _, fiber_rate = time_ttm(
+        lambda: ttm_fiber_form(x, u, MODE), (64, 64, 64), J
+    )
+    _, inplace_rate = time_ttm(
+        lambda: ttm_inplace(x, u, MODE), (64, 64, 64), J
+    )
+    assert inplace_rate > fiber_rate
+
+
+def main():
+    print_header("Table 1 - representation forms of the mode-1 product")
+    rows = [
+        [name, level, transform, "x".join(map(str, shape)), f"{rate:8.2f}"]
+        for name, level, transform, shape, rate in run_forms()
+    ]
+    print_series(
+        ["form", "BLAS level", "transformation", "shape", "GFLOP/s"], rows
+    )
+    print(
+        "Expected ordering: scalar << fiber < slice <= matricized <= "
+        "in-place merged."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Table 2: experimental platform configuration.
+
+The paper documents its two testbeds (Core i7-4770K, Xeon E7-4820) with
+peak GFLOP/s, cache, memory, and bandwidth.  This benchmark prints the
+same table for (a) this host, introspected live, and (b) the two paper
+platforms as roofline presets used throughout the reproduction — plus
+the paper's square-GEMM reference measurement (they quote 154 GFLOP/s
+on the i7 and 51 GFLOP/s on the Xeon for a 1000x1000 GEMM).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import print_header, print_series
+from repro.analysis import CORE_I7_4770K, XEON_E7_4820
+from repro.perf.flops import gemm_flops, gflops_rate
+from repro.perf.machine import machine_info
+from repro.perf.timing import time_callable
+from repro.util.formatting import format_bytes
+
+REFERENCE_N = 1000
+
+
+def reference_gemm_gflops(min_seconds=0.1) -> float:
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((REFERENCE_N, REFERENCE_N))
+    b = rng.standard_normal((REFERENCE_N, REFERENCE_N))
+    out = np.empty((REFERENCE_N, REFERENCE_N))
+    seconds = time_callable(
+        lambda: np.matmul(a, b, out=out), min_repeats=2,
+        min_seconds=min_seconds,
+    )
+    return gflops_rate(gemm_flops(REFERENCE_N, REFERENCE_N, REFERENCE_N),
+                       seconds)
+
+
+def test_table2_reference_gemm(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((REFERENCE_N, REFERENCE_N))
+    b = rng.standard_normal((REFERENCE_N, REFERENCE_N))
+    out = np.empty((REFERENCE_N, REFERENCE_N))
+    benchmark.pedantic(
+        lambda: np.matmul(a, b, out=out), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    rate = gflops_rate(
+        gemm_flops(REFERENCE_N, REFERENCE_N, REFERENCE_N),
+        benchmark.stats["min"],
+    )
+    benchmark.extra_info["square_gemm_gflops"] = round(rate, 1)
+    assert rate > 1.0
+
+
+def main():
+    print_header("Table 2 - experimental platform configuration")
+    info = machine_info()
+    rows = []
+    labels = [
+        "Peak GFLOP/s (all cores)",
+        "# of physical cores",
+        "Last-level cache",
+        "Memory bandwidth",
+    ]
+    presets = (CORE_I7_4770K, XEON_E7_4820)
+    preset_values = [
+        [f"{p.peak_gflops:.0f}" for p in presets],
+        [str(p.cores) for p in presets],
+        [format_bytes(p.llc_bytes) for p in presets],
+        [f"{p.bandwidth_gbs} GB/s" for p in presets],
+    ]
+    host_rate = reference_gemm_gflops()
+    host_values = [
+        f"~{host_rate:.0f} (measured 1000^2 GEMM)",
+        str(info.physical_cores),
+        format_bytes(info.llc_bytes),
+        "n/a",
+    ]
+    for label, host, preset in zip(labels, host_values, preset_values):
+        rows.append([label, host, preset[0], preset[1]])
+    print_series(
+        ["parameter", "this host", CORE_I7_4770K.name, XEON_E7_4820.name],
+        rows,
+    )
+    print(
+        f"1000x1000 GEMM: this host {host_rate:.1f} GFLOP/s; paper "
+        "quotes 154 (i7) and 51 (Xeon E7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

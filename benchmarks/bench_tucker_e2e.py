@@ -1,0 +1,106 @@
+"""End-to-end: Tucker-HOOI with in-place vs copy-based TTM.
+
+The paper motivates INTENSLI with the Tucker decomposition, whose HOOI
+iteration executes N*(N-1) mode-n products per sweep (§2) and whose
+conclusion claims the framework "can be directly applied to tensor
+decompositions".  This benchmark closes that loop: the identical HOOI
+code runs over both TTM backends, so the only difference is the TTM.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import pytest
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import print_header, print_series
+from repro.baselines import ttm_copy, ttm_ctf_like
+from repro.core import InTensLi
+from repro.decomp import hooi
+from repro.tensor.generate import low_rank_tensor
+
+SHAPE = (40, 40, 40, 40)
+RANKS = (8, 8, 8, 8)
+SWEEPS = 3
+
+
+def backends():
+    lib = InTensLi()
+    return {
+        "inttm (ours)": lambda x, u, mode: lib.ttm(x, u, mode),
+        "tt-ttm (copy)": ttm_copy,
+        "ctf-like": lambda x, u, mode: ttm_ctf_like(x, u, mode),
+    }
+
+
+def run_backend(name, backend, x):
+    start = time.perf_counter()
+    result = hooi(x, RANKS, ttm_backend=backend, max_iterations=SWEEPS,
+                  tolerance=0.0)
+    seconds = time.perf_counter() - start
+    return seconds, result
+
+
+# -- pytest-benchmark targets --------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["inttm", "tt-ttm"])
+def test_tucker_hooi_backends(benchmark, name):
+    x = low_rank_tensor((24, 24, 24), (6, 6, 6), seed=0)
+    lib = InTensLi()
+    backend = (
+        (lambda t, u, mode: lib.ttm(t, u, mode)) if name == "inttm"
+        else ttm_copy
+    )
+    result = benchmark.pedantic(
+        lambda: hooi(x, (6, 6, 6), ttm_backend=backend, max_iterations=2,
+                     tolerance=0.0),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["fit"] = round(result.fit, 6)
+
+
+def test_tucker_backends_reach_same_fit():
+    x = low_rank_tensor((20, 20, 20), (5, 5, 5), seed=1)
+    lib = InTensLi()
+    fits = []
+    for backend in (lambda t, u, m: lib.ttm(t, u, m), ttm_copy):
+        result = hooi(x, (5, 5, 5), ttm_backend=backend, max_iterations=2,
+                      tolerance=0.0)
+        fits.append(result.fit)
+    assert abs(fits[0] - fits[1]) < 1e-8
+
+
+def main():
+    print_header(
+        f"Tucker-HOOI end-to-end, {SHAPE} tensor, ranks {RANKS}, "
+        f"{SWEEPS} sweeps (identical algorithm, TTM backend swapped)"
+    )
+    x = low_rank_tensor(SHAPE, RANKS, noise=0.01, seed=0)
+    rows = []
+    base = None
+    for name, backend in backends().items():
+        seconds, result = run_backend(name, backend, x)
+        if base is None:
+            base = seconds
+        rows.append(
+            [name, f"{seconds:7.2f} s", f"{result.fit:.4f}",
+             f"{base / seconds:5.2f}x"]
+        )
+    print_series(["ttm backend", "wall time", "fit", "speedup vs inttm"],
+                 rows)
+    print(
+        "The decomposition quality (fit) is identical; only the TTM "
+        "implementation changes the runtime."
+    )
+
+
+if __name__ == "__main__":
+    main()

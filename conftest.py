@@ -1,0 +1,13 @@
+"""Ensure the in-tree package is importable even without installation.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+cannot build a PEP 660 editable wheel; ``python setup.py develop`` works,
+but this shim makes ``pytest`` self-sufficient either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

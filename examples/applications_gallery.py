@@ -1,0 +1,73 @@
+"""Applications gallery: the paper's §1 motivating domains, end to end.
+
+Runs the TTM-powered decomposition stack over synthetic workloads with
+the structure of three application classes the paper's introduction
+cites — EEG analysis (neuroscience), image ensembles (TensorFaces-style
+vision), and molecular-dynamics time series — reporting compression and
+fit for each, with every mode-n product executed by the in-place
+input-adaptive TTM.
+
+Run:  python examples/applications_gallery.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.decomp import hooi
+from repro.tensor.workloads import eeg_tensor, image_ensemble_tensor
+from repro.util.formatting import format_table
+
+
+def analyze(name: str, tensor, ranks) -> list:
+    start = time.perf_counter()
+    result = hooi(tensor, ranks, max_iterations=10, tolerance=1e-9)
+    seconds = time.perf_counter() - start
+    return [
+        name,
+        "x".join(str(s) for s in tensor.shape),
+        "x".join(str(r) for r in result.ranks),
+        f"{result.fit:.4f}",
+        f"{result.compression:7.1f}x",
+        f"{seconds:6.2f} s",
+    ]
+
+
+def main() -> None:
+    rows = []
+
+    # Neuroscience: wavelet-transformed event-related EEG [28].
+    eeg = eeg_tensor(32, 24, 256, n_sources=3, noise=0.05, seed=0)
+    rows.append(analyze("EEG (chan x freq x time)", eeg, (4, 4, 4)))
+
+    # Vision: TensorFaces-style image ensemble [44].
+    faces = image_ensemble_tensor(16, 6, 4, 400, rank=4, noise=0.03, seed=1)
+    rows.append(
+        analyze("faces (id x pose x light x pix)", faces, (4, 4, 3, 8))
+    )
+
+    # Molecular dynamics time series [32] (centered trajectories).
+    md = repro.md_trajectory_tensor(256, 96, n_modes=4, seed=2)
+    centered = repro.DenseTensor(
+        md.data - md.data.mean(axis=0, keepdims=True)
+    )
+    rows.append(analyze("MD (frames x atoms x xyz)", centered, (6, 8, 3)))
+
+    print(
+        format_table(
+            ["workload", "shape", "tucker ranks", "fit", "compression",
+             "time"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Every mode-n product above ran through the input-adaptive "
+        "in-place TTM (repro.ttm); swap ttm_backend=repro.ttm_copy in "
+        "hooi() to compare against the conventional implementation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""A tour of the input-adaptive machinery (paper §4.3, figure 7).
+
+Walks through every stage the framework runs under the hood for one
+input: the GEMM shape benchmark, the MSTH/MLTH threshold derivation
+(figure 8), mode partitioning, thread allocation, and finally a
+head-to-head of the heuristic choice against exhaustive search
+(figure 12, in miniature).
+
+Run:  python examples/autotuning_tour.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis import CORE_I7_4770K
+from repro.core import ExhaustiveTuner, ParameterEstimator
+from repro.core.partition import derive_thresholds
+from repro.gemm.bench import default_shape_grid, measure_profile, synthetic_profile
+from repro.util.formatting import format_bytes
+
+SHAPE = (14, 14, 14, 14, 14)
+MODE = 0
+J = 16
+
+
+def main() -> None:
+    # -- stage 1: the MM benchmark (figure 7's "MM Benchmark" input) ----------
+    print("1. GEMM shape benchmark (m=16, powers-of-two k x n) ...")
+    grid = default_shape_grid(k_exponents=range(6, 11),
+                              n_exponents=range(4, 13))
+    measured = measure_profile(grid, threads=(1,), min_seconds=0.005)
+    print(f"   {measured!r}, peak {measured.peak_gflops(1):.1f} GFLOP/s")
+
+    # -- stage 2: thresholds from the peaked curve (figure 8) -----------------
+    thresholds = derive_thresholds(measured, 16, threads=1, kappa=0.8)
+    print(
+        f"2. thresholds at kappa=0.8: MSTH={format_bytes(thresholds.msth_bytes)}, "
+        f"MLTH={format_bytes(thresholds.mlth_bytes)} "
+        "(paper's i7: 1.04 MiB / 7.04 MiB)"
+    )
+
+    # -- stage 3: the estimator turns input geometry into a plan --------------
+    estimator = ParameterEstimator(profile=measured, max_threads=1)
+    plan = estimator.estimate(SHAPE, MODE, J)
+    print(f"3. estimated plan: {plan.describe()}")
+    print(
+        f"   degree {plan.degree} -> kernel (m,k,n)={plan.kernel_shape}, "
+        f"working set {format_bytes(plan.kernel_working_set_bytes)} "
+        f"(inside the window: "
+        f"{thresholds.contains(plan.kernel_working_set_bytes)})"
+    )
+
+    # -- stage 4: heuristic vs exhaustive (figure 12 in miniature) ------------
+    x = repro.random_tensor(SHAPE, seed=0)
+    u = np.random.default_rng(1).standard_normal((J, SHAPE[MODE]))
+    tuner = ExhaustiveTuner(min_seconds=0.05)
+    sweep = tuner.sweep(x, u, MODE)
+    print(f"4. exhaustive sweep over {len(sweep.plans)} configurations:")
+    for description, rate in sweep.table():
+        marker = "  <- heuristic" if description == plan.describe() else ""
+        print(f"   {rate:7.2f} GFLOP/s  {description}{marker}")
+    print(
+        f"   best: {sweep.best_gflops:.2f} GFLOP/s "
+        f"({sweep.best_plan.describe()})"
+    )
+
+    # -- bonus: the same pipeline with a synthetic platform profile -----------
+    synthetic = synthetic_profile(grid, CORE_I7_4770K, threads=(1, 4))
+    est_i7 = ParameterEstimator(profile=synthetic, max_threads=4)
+    plan_i7 = est_i7.estimate(SHAPE, MODE, J)
+    print(f"5. on the paper's Core i7 preset the plan would be:")
+    print(f"   {plan_i7.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Molecular-dynamics time-series analysis with Tucker compression.
+
+The paper's conclusion names "time series analysis for molecular
+dynamics" as a target dense application.  Production MD trajectories are
+proprietary/huge, so this example generates a synthetic trajectory with
+planted collective motions (a superposition of low-frequency modes over
+thermal noise) - the structure such analyses extract - and uses the
+TTM-powered Tucker decomposition to (a) compress the trajectory and
+(b) recover the number of collective motions from the core spectrum.
+
+Run:  python examples/md_timeseries.py
+"""
+
+import numpy as np
+
+import repro
+from repro.decomp import hooi
+from repro.tensor.unfold import unfold
+
+N_FRAMES = 256
+N_ATOMS = 64
+N_MOTIONS = 3  # planted collective modes
+
+
+def main() -> None:
+    trajectory = repro.md_trajectory_tensor(
+        N_FRAMES, N_ATOMS, n_modes=N_MOTIONS, seed=11
+    )
+    print(
+        f"synthetic trajectory: {N_FRAMES} frames x {N_ATOMS} atoms x 3 "
+        f"coords ({trajectory.nbytes / 1024:.0f} KiB), "
+        f"{N_MOTIONS} planted collective motions"
+    )
+
+    # Center per (atom, coordinate) so the static structure drops out and
+    # the decomposition sees only the dynamics.
+    centered = repro.DenseTensor(
+        trajectory.data - trajectory.data.mean(axis=0, keepdims=True)
+    )
+
+    # Tucker-compress: generous temporal rank, tight spatial ranks.
+    ranks = (8, 8, 3)
+    result = hooi(centered, ranks, tolerance=1e-10)
+    print(
+        f"Tucker({ranks}) fit: {result.fit:.4f}, "
+        f"compression {result.compression:.0f}x"
+    )
+
+    # The temporal factor's singular-value spectrum exposes how many
+    # collective motions carry the variance.
+    temporal_unfolding = unfold(centered, 0)
+    spectrum = np.linalg.svd(temporal_unfolding, compute_uv=False)
+    energy = np.cumsum(spectrum**2) / np.sum(spectrum**2)
+    recovered = int(np.searchsorted(energy, 0.90) + 1)
+    print(
+        "temporal energy captured by leading modes: "
+        + ", ".join(f"{e:.3f}" for e in energy[:6])
+    )
+    print(
+        f"modes needed for 90% of the dynamics (rest is thermal noise): "
+        f"{recovered} (planted: {N_MOTIONS})"
+    )
+
+    # Every mode-n product inside HOOI ran through the in-place TTM; the
+    # same analysis can be pinned to the copy-based baseline to compare:
+    from repro.baselines import ttm_copy
+
+    baseline = hooi(centered, ranks, ttm_backend=ttm_copy, tolerance=1e-10)
+    assert abs(baseline.fit - result.fit) < 1e-8
+    print("copy-based backend reproduces the same fit: True")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Tucker decomposition of a noisy low-rank tensor (the paper's §2 use
+case): HOSVD initialization, HOOI refinement, and a backend comparison.
+
+The Tucker-HOOI algorithm runs N*(N-1) mode-n products per sweep; this
+example decomposes the same tensor with the in-place TTM and with the
+copy-based baseline, confirming identical fits and showing the runtime
+difference attributable purely to the TTM implementation.
+
+Run:  python examples/tucker_decomposition.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.baselines import ttm_copy
+from repro.decomp import hooi, hosvd, tucker_reconstruct
+
+
+def main() -> None:
+    shape, ranks = (60, 50, 40), (6, 5, 4)
+    x = repro.low_rank_tensor(shape, ranks, noise=0.05, seed=7)
+    print(f"input: {x!r} with planted Tucker ranks {ranks} + 5% noise")
+
+    # -- HOSVD: a one-shot truncated decomposition ---------------------------
+    start = hosvd(x, ranks)
+    print(f"HOSVD fit:          {start.fit:.5f}")
+
+    # -- HOOI: alternating refinement until the fit stalls --------------------
+    lib = repro.InTensLi()
+    t0 = time.perf_counter()
+    result = hooi(x, ranks, ttm_backend=lambda t, u, m: lib.ttm(t, u, m),
+                  init=start)
+    t_inplace = time.perf_counter() - t0
+    print(
+        f"HOOI fit:           {result.fit:.5f} "
+        f"after {result.iterations} sweeps ({t_inplace:.2f} s, in-place TTM)"
+    )
+    print(f"compression:        {result.compression:.1f}x fewer parameters")
+
+    # -- identical decomposition over the copy-based TTM ----------------------
+    t0 = time.perf_counter()
+    baseline = hooi(x, ranks, ttm_backend=ttm_copy, init=start)
+    t_copy = time.perf_counter() - t0
+    print(
+        f"copy-based backend: fit {baseline.fit:.5f} ({t_copy:.2f} s) "
+        f"-> TTM speedup {t_copy / t_inplace:.2f}x"
+    )
+    assert abs(baseline.fit - result.fit) < 1e-8
+
+    # -- reconstruction error -------------------------------------------------
+    recon = tucker_reconstruct(result.core, result.factors)
+    rel_err = float(
+        np.linalg.norm(recon.data - x.data) / np.linalg.norm(x.data)
+    )
+    print(f"reconstruction:     relative error {rel_err:.4f} "
+          "(bounded by the injected noise)")
+
+
+if __name__ == "__main__":
+    main()

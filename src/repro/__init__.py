@@ -1,0 +1,55 @@
+"""INTENSLI reproduction: input-adaptive, in-place dense TTM (SC '15).
+
+Public API quick reference::
+
+    import repro
+
+    x = repro.random_tensor((200, 200, 200), seed=0)
+    u = np.random.default_rng(1).standard_normal((16, 200))
+
+    y = repro.ttm(x, u, mode=1)            # input-adaptive, in-place
+    y2 = repro.ttm_copy(x, u, mode=1)      # Algorithm-1 baseline
+
+    lib = repro.InTensLi(max_threads=4)    # explicit framework instance
+    plan = lib.plan(x.shape, mode=1, j=16)
+    y3 = lib.execute(plan, x, u)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from repro.tensor import (
+    DenseTensor,
+    Layout,
+    arange_tensor,
+    fold,
+    low_rank_tensor,
+    md_trajectory_tensor,
+    random_tensor,
+    unfold,
+)
+from repro.core import InTensLi, TtmPlan, ttm_inplace
+from repro.core.intensli import ttm
+from repro.baselines import ttm_copy, ttm_ctf_like
+# NOTE: the GEMM entry point lives at repro.gemm.gemm; importing the
+# function here would shadow the subpackage attribute on this package.
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DenseTensor",
+    "Layout",
+    "arange_tensor",
+    "fold",
+    "low_rank_tensor",
+    "md_trajectory_tensor",
+    "random_tensor",
+    "unfold",
+    "InTensLi",
+    "TtmPlan",
+    "ttm_inplace",
+    "ttm",
+    "ttm_copy",
+    "ttm_ctf_like",
+    "__version__",
+]

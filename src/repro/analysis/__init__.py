@@ -1,0 +1,46 @@
+"""Performance analysis: arithmetic-intensity bounds and roofline models.
+
+Implements the paper's §3 analysis — equations (4), (5) and (6) — and a
+roofline-style throughput model used both for the platform presets of
+table 2 and for generating deterministic synthetic GEMM profiles.
+"""
+
+from repro.analysis.intensity import (
+    copy_penalty,
+    copy_ttm_intensity,
+    equivalent_gemm_dim,
+    gemm_intensity_bound,
+    inplace_ttm_intensity,
+    intensity_regime_holds,
+    min_words_moved,
+    ttm_copy_words,
+    ttm_flops,
+)
+from repro.analysis.roofline import (
+    CORE_I7_4770K,
+    PLATFORMS,
+    XEON_E7_4820,
+    RooflinePlatform,
+    attainable_gflops,
+    gemm_model_gflops,
+    shape_intensity,
+)
+
+__all__ = [
+    "copy_penalty",
+    "copy_ttm_intensity",
+    "equivalent_gemm_dim",
+    "gemm_intensity_bound",
+    "inplace_ttm_intensity",
+    "intensity_regime_holds",
+    "min_words_moved",
+    "ttm_copy_words",
+    "ttm_flops",
+    "CORE_I7_4770K",
+    "PLATFORMS",
+    "XEON_E7_4820",
+    "RooflinePlatform",
+    "attainable_gflops",
+    "gemm_model_gflops",
+    "shape_intensity",
+]

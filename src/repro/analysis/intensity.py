@@ -1,0 +1,96 @@
+"""Arithmetic-intensity analysis of TTM (paper §3, equations 4-6).
+
+Model: a two-level hierarchy with a fast memory of ``Z`` words.  The
+communication lower bound for GEMM-like contractions is
+``W >= Q / (8 sqrt(Z)) - Z`` [Ballard et al.], giving the intensity upper
+bound ``A <= 8 sqrt(Z)`` (equation 4) in the regime ``Q >> 8 Z^{3/2}``.
+
+A TTM implemented with explicit matricization moves an extra ``2 m^d``
+words (unfold the input + fold the output of an order-``d`` cubical tensor
+of side ``m``), reducing intensity by the factor ``1 + A/m`` (equation 5).
+The in-place algorithm removes that term and restores ``A`` (equation 6).
+
+All word counts are in double-precision words (8 bytes).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_positive_int
+
+
+def gemm_intensity_bound(z_words: int) -> float:
+    """Equation (4): the intensity upper bound ``A ~= 8 sqrt(Z)``.
+
+    *z_words* is the fast-memory capacity in 8-byte words.
+    """
+    check_positive_int(z_words, "z_words")
+    return 8.0 * math.sqrt(z_words)
+
+
+def intensity_regime_holds(q_flops: float, z_words: int) -> bool:
+    """True when ``Q >> 8 Z^{3/2}`` (we require a 10x margin), the regime
+    in which the approximation of equation (4) is valid."""
+    check_positive_int(z_words, "z_words")
+    return q_flops >= 10.0 * 8.0 * z_words**1.5
+
+
+def min_words_moved(q_flops: float, z_words: int) -> float:
+    """The Ballard et al. lower bound ``W >= Q/(8 sqrt(Z)) - Z`` (clamped at 0)."""
+    check_positive_int(z_words, "z_words")
+    return max(0.0, q_flops / (8.0 * math.sqrt(z_words)) - z_words)
+
+
+def ttm_flops(shape, j: int) -> int:
+    """Flop count of a mode-n product: ``2 * J * prod(shape)`` (equation 1).
+
+    Each output element is an ``I_n``-term dot product (multiply+add), and
+    there are ``J * prod(shape)/I_n`` outputs, independent of the mode.
+    """
+    check_positive_int(j, "j")
+    total = math.prod(int(s) for s in shape)
+    return 2 * j * total
+
+
+def copy_penalty(z_words: int, m: int) -> float:
+    """Equation (5)'s loss factor ``1 + A/m`` of explicit matricization.
+
+    For the paper's example (Z = 2^20 words = 8 MiB, d = 3, m ~= 254) this
+    evaluates to ~33x.
+    """
+    check_positive_int(m, "m")
+    return 1.0 + gemm_intensity_bound(z_words) / m
+
+
+def copy_ttm_intensity(z_words: int, m: int) -> float:
+    """Equation (5): intensity of a copy-based TTM, ``A / (1 + A/m)``."""
+    return gemm_intensity_bound(z_words) / copy_penalty(z_words, m)
+
+
+def inplace_ttm_intensity(z_words: int) -> float:
+    """Equation (6): the in-place TTM restores the GEMM bound ``A``."""
+    return gemm_intensity_bound(z_words)
+
+
+def equivalent_gemm_dim(m: int, d: int) -> float:
+    """The square-GEMM dimension n with the same flops as a cubical TTM.
+
+    From ``Q_gemm = 2 n^3`` and ``Q_ttm = 2 m^{d+1}``: ``n = m^{(d+1)/3}``.
+    (The paper states the inverse relation ``m = n^{3/(d+1)}``.)
+    """
+    check_positive_int(m, "m")
+    check_positive_int(d, "d")
+    return float(m) ** ((d + 1) / 3.0)
+
+
+def ttm_copy_words(shape) -> int:
+    """Words moved by the two physical transformations of Algorithm 1.
+
+    Unfolding reads+writes the input once (``|X|`` words written) and
+    folding does the same for the output; following the paper's accounting
+    we charge the ``2 m^d`` words *written* (the incompressible extra
+    traffic versus in-place).
+    """
+    total = math.prod(int(s) for s in shape)
+    return 2 * total

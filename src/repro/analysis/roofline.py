@@ -1,0 +1,152 @@
+"""Roofline-style GEMM throughput model and platform presets.
+
+The estimator needs GEMM performance as a function of shape (figures 5
+and 8).  On real hardware we *measure* it (:mod:`repro.gemm.bench`); for
+deterministic tests, for scaled-up what-if studies, and to instantiate the
+paper's two testbeds (table 2), this module provides a closed-form model:
+
+``gflops(m, k, n) = min(peak * ramp * spill, intensity * BW / 8)``
+
+* ``intensity`` is the shape's flops-per-word ratio ``2/(1/m + 1/k + 1/n)``
+  capped at the cache bound ``8 sqrt(Z)`` — small dimensions limit reuse
+  (Observation 2: skinny GEMMs run far below peak);
+* ``ramp = Q/(Q + Q0)`` models fixed per-call overhead that starves tiny
+  problems;
+* ``spill = 1/(1 + ws/(c * LLC))`` models the gradual decline once the
+  working set far exceeds the last-level cache — producing the
+  peak-then-decline shape of figure 8 from which the MSTH/MLTH thresholds
+  are derived.
+
+The model is a *qualitative* stand-in for a measured profile: its value is
+that the same downstream machinery (threshold extraction, mode
+partitioning) runs unchanged on model output and on measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.intensity import gemm_intensity_bound
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class RooflinePlatform:
+    """A machine abstraction: peak compute, memory bandwidth, LLC size.
+
+    ``peak_gflops`` is the all-core double-precision peak;
+    single-thread peak is derived as ``peak_gflops / cores`` (we fold any
+    frequency-boost asymmetry into the model's ramp term).
+    """
+
+    name: str
+    peak_gflops: float
+    bandwidth_gbs: float
+    llc_bytes: int
+    cores: int
+    threads_with_smt: int
+    ramp_flops: float = 5.0e5
+    spill_capacity_factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.llc_bytes, "llc_bytes")
+        check_positive_int(self.cores, "cores")
+        check_positive_int(self.threads_with_smt, "threads_with_smt")
+
+    @property
+    def llc_words(self) -> int:
+        """LLC capacity in 8-byte words (the Z of equations 4-6)."""
+        return self.llc_bytes // 8
+
+    def peak_at(self, threads: int) -> float:
+        """Peak GFLOP/s with *threads* worker threads (core-bound)."""
+        check_positive_int(threads, "threads")
+        usable = min(threads, self.cores)
+        return self.peak_gflops * usable / self.cores
+
+
+# Table 2 presets.  The paper's table lists the last-level caches as
+# "8 GiB"/"18 GiB", an obvious typo for MiB (i7-4770K has an 8 MiB L3,
+# E7-4820 an 18 MiB L3); we use MiB.
+CORE_I7_4770K = RooflinePlatform(
+    name="Intel Core i7-4770K (Haswell)",
+    peak_gflops=224.0,
+    bandwidth_gbs=25.6,
+    llc_bytes=8 * 1024**2,
+    cores=4,
+    threads_with_smt=8,
+)
+
+XEON_E7_4820 = RooflinePlatform(
+    name="Intel Xeon E7-4820 (Westmere)",
+    peak_gflops=128.0,
+    bandwidth_gbs=34.2,
+    llc_bytes=18 * 1024**2,
+    cores=16,
+    threads_with_smt=32,
+)
+
+PLATFORMS = {
+    "core-i7-4770k": CORE_I7_4770K,
+    "xeon-e7-4820": XEON_E7_4820,
+}
+
+
+def shape_intensity(m: int, k: int, n: int, z_words: int | None = None) -> float:
+    """Flops-per-word intensity of an (m x k) @ (k x n) GEMM.
+
+    ``2mkn / (mk + kn + mn) = 2 / (1/n + 1/m + 1/k)`` — each operand
+    touched at least once — optionally capped at the cache-reuse bound
+    ``8 sqrt(Z)``.
+    """
+    check_positive_int(m, "m")
+    check_positive_int(k, "k")
+    check_positive_int(n, "n")
+    intensity = 2.0 / (1.0 / m + 1.0 / k + 1.0 / n)
+    if z_words is not None:
+        intensity = min(intensity, gemm_intensity_bound(z_words))
+    return intensity
+
+
+def attainable_gflops(intensity: float, platform: RooflinePlatform,
+                      threads: int = 1) -> float:
+    """Classical roofline: ``min(peak, intensity * bandwidth)``.
+
+    *intensity* is flops per 8-byte word; bandwidth is shared by all
+    threads (adding threads raises the compute roof only).
+    """
+    mem_roof = intensity * platform.bandwidth_gbs / 8.0
+    return min(platform.peak_at(threads), mem_roof)
+
+
+def working_set_bytes(m: int, k: int, n: int) -> int:
+    """Bytes of the three GEMM operands (the MSTH/MLTH measurement unit)."""
+    return 8 * (m * k + k * n + m * n)
+
+
+def gemm_model_gflops(
+    m: int,
+    k: int,
+    n: int,
+    platform: RooflinePlatform = CORE_I7_4770K,
+    threads: int = 1,
+) -> float:
+    """Modelled GEMM throughput for shape (m, k, n) at *threads* threads.
+
+    Reproduces the qualitative features of figures 5 and 8: a ramp for
+    tiny problems, a roofline cap for skinny shapes, and a gradual decline
+    once the working set spills far beyond the LLC.
+    """
+    q = 2.0 * m * k * n
+    ramp = q / (q + platform.ramp_flops * max(1, threads))
+    ws = working_set_bytes(m, k, n)
+    # Spill degrades both roofs: far beyond the LLC, skinny shapes lose
+    # blocking efficiency *and* effective bandwidth (TLB/page effects) —
+    # the empirical decline on the right side of figure 8.
+    spill = 1.0 / (
+        1.0 + ws / (platform.spill_capacity_factor * platform.llc_bytes)
+    )
+    compute_roof = platform.peak_at(threads) * ramp
+    intensity = shape_intensity(m, k, n, platform.llc_words)
+    mem_roof = intensity * platform.bandwidth_gbs / 8.0
+    return max(0.0, min(compute_roof, mem_roof) * spill)

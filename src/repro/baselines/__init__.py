@@ -1,0 +1,33 @@
+"""Baseline TTM implementations the paper compares against.
+
+* :func:`ttm_copy` — Algorithm 1 exactly as the Tensor Toolbox runs it:
+  physical matricization, GEMM, physical tensorization (figure 3).
+* :func:`ttm_ctf_like` — the Cyclops Tensor Framework flavour: the same
+  three steps plus block-cyclic redistribution into/out of a virtual
+  processor grid, CTF's data-mapping overhead run single-node.
+* :mod:`repro.baselines.representations` — the table-1 forms (scalar,
+  fiber, slice, matricized), used for the BLAS-level comparison.
+
+All baselines accept a :class:`repro.perf.profiler.PhaseProfiler` so the
+figure-4 transform-vs-multiply breakdown can be measured directly.
+"""
+
+from repro.baselines.tensor_toolbox import ttm_copy
+from repro.baselines.ctf_like import ttm_ctf_like
+from repro.baselines.representations import (
+    REPRESENTATIONS,
+    ttm_fiber_form,
+    ttm_matricized_form,
+    ttm_scalar_form,
+    ttm_slice_form,
+)
+
+__all__ = [
+    "ttm_copy",
+    "ttm_ctf_like",
+    "REPRESENTATIONS",
+    "ttm_fiber_form",
+    "ttm_matricized_form",
+    "ttm_scalar_form",
+    "ttm_slice_form",
+]

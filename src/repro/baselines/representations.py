@@ -1,0 +1,129 @@
+"""The table-1 representation forms of the mode-n product.
+
+Table 1 classifies the ways to organize a TTM by the BLAS level of their
+innermost operation:
+
+* **scalar** form — the raw five-deep loop nest of equation (1); no BLAS
+  at all ("Slow" in the table);
+* **fiber** form — fix all modes but *n*; each inner operation is a
+  matrix-vector product (Level 2);
+* **slice** form — fix all but two modes; each inner operation is a
+  (small) matrix-matrix product (Level 3, no transformation);
+* **matricized** form — full reorganization into one big GEMM (Level 3,
+  with a physical transformation): Algorithm 1.
+
+All forms are mathematically identical; their performance spread is
+Observation 3's motivation for preferring merged-mode Level-3 kernels.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.baselines.tensor_toolbox import ttm_copy
+from repro.gemm.interface import gemm
+from repro.tensor.dense import DenseTensor
+from repro.tensor.views import fiber, mode_slice
+from repro.util.errors import ShapeError
+from repro.util.validation import check_mode
+
+
+def _validate(x: DenseTensor, u: np.ndarray, mode: int) -> tuple[np.ndarray, int]:
+    if not isinstance(x, DenseTensor):
+        raise TypeError(f"x must be a DenseTensor, got {type(x).__name__}")
+    u = np.asarray(u, dtype=np.float64)
+    mode = check_mode(mode, x.order)
+    if u.ndim != 2 or u.shape[1] != x.shape[mode]:
+        raise ShapeError(
+            f"U shape {u.shape} does not match (J, I_n={x.shape[mode]})"
+        )
+    return u, mode
+
+
+def _out_tensor(x: DenseTensor, j: int, mode: int) -> DenseTensor:
+    shape = x.shape[:mode] + (j,) + x.shape[mode + 1 :]
+    return DenseTensor.zeros(shape, x.layout)
+
+
+def ttm_scalar_form(x: DenseTensor, u: np.ndarray, mode: int) -> DenseTensor:
+    """Equation (1) as literal scalar loops (table 1, "Scalar").
+
+    Pure Python per element — usable only at toy sizes; exists as the
+    unmissably correct reference and the Level-"Slow" data point.
+    """
+    u, mode = _validate(x, u, mode)
+    j_dim = u.shape[0]
+    y = _out_tensor(x, j_dim, mode)
+    other_modes = [m for m in range(x.order) if m != mode]
+    ranges = [range(x.shape[m]) for m in other_modes]
+    for combo in itertools.product(*ranges):
+        index = dict(zip(other_modes, combo))
+        for jj in range(j_dim):
+            acc = 0.0
+            for i_n in range(x.shape[mode]):
+                index[mode] = i_n
+                acc += x.data[tuple(index[m] for m in range(x.order))] * u[jj, i_n]
+            index[mode] = jj
+            y.data[tuple(index[m] for m in range(x.order))] = acc
+    return y
+
+
+def ttm_fiber_form(x: DenseTensor, u: np.ndarray, mode: int) -> DenseTensor:
+    """Fiber (Level-2) form: one matrix-vector product per mode-n fiber."""
+    u, mode = _validate(x, u, mode)
+    y = _out_tensor(x, u.shape[0], mode)
+    other_modes = [m for m in range(x.order) if m != mode]
+    ranges = [range(x.shape[m]) for m in other_modes]
+    for combo in itertools.product(*ranges):
+        fixed = dict(zip(other_modes, combo))
+        x_fib = fiber(x, mode, fixed)
+        y_fib = fiber(y, mode, fixed)
+        np.matmul(u, x_fib, out=y_fib)
+    return y
+
+
+def ttm_slice_form(
+    x: DenseTensor, u: np.ndarray, mode: int, slice_mode: int | None = None
+) -> DenseTensor:
+    """Slice (Level-3, no transformation) form: a GEMM per 2-D slice.
+
+    *slice_mode* chooses the second free mode of each slice (default: the
+    last non-*mode* mode, the paper's table-1 example).  Requires order
+    >= 2.
+    """
+    u, mode = _validate(x, u, mode)
+    if x.order < 2:
+        raise ShapeError("slice form needs an order >= 2 tensor")
+    if slice_mode is None:
+        slice_mode = x.order - 1 if mode != x.order - 1 else x.order - 2
+    slice_mode = check_mode(slice_mode, x.order)
+    if slice_mode == mode:
+        raise ShapeError("slice_mode must differ from the product mode")
+    y = _out_tensor(x, u.shape[0], mode)
+    other_modes = [m for m in range(x.order) if m not in (mode, slice_mode)]
+    ranges = [range(x.shape[m]) for m in other_modes]
+    for combo in itertools.product(*ranges):
+        fixed = dict(zip(other_modes, combo))
+        x_slice = mode_slice(x, (mode, slice_mode), fixed)
+        y_slice = mode_slice(y, (mode, slice_mode), fixed)
+        # Y(:, i_s) views may be general-stride; auto dispatch handles both.
+        gemm(u, x_slice, out=y_slice, kernel="auto")
+    return y
+
+
+def ttm_matricized_form(
+    x: DenseTensor, u: np.ndarray, mode: int
+) -> DenseTensor:
+    """Matricized (Level-3, full transformation) form: Algorithm 1."""
+    return ttm_copy(x, u, mode)
+
+
+#: name -> (callable, table-1 BLAS level, needs physical transformation)
+REPRESENTATIONS = {
+    "scalar": (ttm_scalar_form, "Slow", False),
+    "fiber": (ttm_fiber_form, "L2", False),
+    "slice": (ttm_slice_form, "L3", False),
+    "matricized": (ttm_matricized_form, "L3", True),
+}

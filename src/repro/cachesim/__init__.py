@@ -1,0 +1,46 @@
+"""Two-level memory-hierarchy simulator.
+
+The paper's §3 argument is about *word traffic* between a slow memory and
+a fast memory of Z words: explicit matricization moves an extra ``2 m^d``
+words and costs a factor ``1 + A/m`` of arithmetic intensity.  Wall-clock
+timings of a Python reproduction cannot isolate that effect cleanly, so
+this substrate measures it directly: we generate the memory access traces
+of the copy-based and in-place TTM algorithms and replay them through an
+LRU cache model, counting words moved.  The resulting traffic ratios are
+machine-independent and deterministic — the form in which the paper's
+equations (4)-(6) are validated in ``benchmarks/bench_intensity_model.py``.
+"""
+
+from repro.cachesim.cache import CacheModel, TrafficCounters
+from repro.cachesim.hierarchy import CacheHierarchy, typical_hierarchy
+from repro.cachesim.trace import (
+    Region,
+    blocked_gemm_trace,
+    copy_trace,
+    gemm_trace,
+    region_layout,
+    ttm_copy_trace,
+    ttm_inplace_trace,
+)
+from repro.cachesim.traffic import (
+    TrafficReport,
+    run_trace,
+    simulate_ttm_traffic,
+)
+
+__all__ = [
+    "CacheModel",
+    "TrafficCounters",
+    "CacheHierarchy",
+    "typical_hierarchy",
+    "Region",
+    "blocked_gemm_trace",
+    "copy_trace",
+    "gemm_trace",
+    "region_layout",
+    "ttm_copy_trace",
+    "ttm_inplace_trace",
+    "TrafficReport",
+    "run_trace",
+    "simulate_ttm_traffic",
+]

@@ -1,0 +1,119 @@
+"""A set-associative, write-back, write-allocate LRU cache model.
+
+Granularity is *words* (8-byte elements), matching the paper's analysis
+units: capacity ``Z`` words, lines of ``line_words`` words.  The model
+counts words moved between slow and fast memory — line fills on misses
+plus write-backs of dirty lines — which is the ``W`` of equation (4).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive_int
+
+
+@dataclass
+class TrafficCounters:
+    """Counters accumulated while replaying a trace."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    line_words: int = 1
+
+    @property
+    def words_moved(self) -> int:
+        """Slow<->fast traffic in words: fills plus write-backs."""
+        return (self.misses + self.writebacks) * self.line_words
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class CacheModel:
+    """LRU cache of ``size_words`` capacity with ``line_words`` lines.
+
+    ``associativity=None`` (default) models a fully associative cache —
+    the assumption behind the theoretical bounds; a power-of-two set
+    count gives a realistic set-associative model.
+    """
+
+    def __init__(
+        self,
+        size_words: int,
+        line_words: int = 8,
+        associativity: int | None = None,
+    ) -> None:
+        check_positive_int(size_words, "size_words")
+        check_positive_int(line_words, "line_words")
+        if size_words % line_words:
+            raise ValueError(
+                f"size_words ({size_words}) must be a multiple of "
+                f"line_words ({line_words})"
+            )
+        n_lines = size_words // line_words
+        if associativity is None:
+            n_sets = 1
+            ways = n_lines
+        else:
+            check_positive_int(associativity, "associativity")
+            if n_lines % associativity:
+                raise ValueError(
+                    f"{n_lines} lines not divisible by associativity "
+                    f"{associativity}"
+                )
+            n_sets = n_lines // associativity
+            ways = associativity
+        self.size_words = size_words
+        self.line_words = line_words
+        self.n_sets = n_sets
+        self.ways = ways
+        # Per-set OrderedDict: line_tag -> dirty flag; LRU at the front.
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(n_sets)]
+        self.counters = TrafficCounters(line_words=line_words)
+
+    def reset(self) -> None:
+        """Empty the cache and zero the counters."""
+        for s in self._sets:
+            s.clear()
+        self.counters = TrafficCounters(line_words=self.line_words)
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Touch word address *addr*; returns True on a hit."""
+        line = addr // self.line_words
+        s = self._sets[line % self.n_sets]
+        c = self.counters
+        c.accesses += 1
+        dirty = s.pop(line, None)
+        if dirty is not None:
+            c.hits += 1
+            s[line] = dirty or write
+            return True
+        c.misses += 1
+        if len(s) >= self.ways:
+            _victim, victim_dirty = s.popitem(last=False)
+            if victim_dirty:
+                c.writebacks += 1
+        s[line] = write
+        return False
+
+    def flush(self) -> None:
+        """Write back all dirty lines (end-of-computation accounting)."""
+        c = self.counters
+        for s in self._sets:
+            for _line, dirty in s.items():
+                if dirty:
+                    c.writebacks += 1
+            for line in list(s):
+                s[line] = False
+
+    def run(self, trace) -> TrafficCounters:
+        """Replay an iterable of ``(addr, write)`` pairs; returns counters."""
+        access = self.access
+        for addr, write in trace:
+            access(addr, write)
+        return self.counters

@@ -1,0 +1,337 @@
+"""Memory access trace generators for copy-based and in-place TTM.
+
+Traces are iterables of ``(word_address, is_write)`` pairs replayed
+through :class:`repro.cachesim.cache.CacheModel`.  Tensors and matrices
+live in disjoint address *regions* of a flat word-addressed memory, laid
+out exactly as the real implementations lay them out, so the simulated
+traffic reflects the true stride/locality behaviour of each algorithm.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.tensor.layout import Layout, element_strides
+from repro.tensor.unfold import unfold_permutation
+from repro.tensor.views import merged_stride
+from repro.util.errors import ShapeError
+from repro.util.validation import check_mode, check_positive_int
+
+Trace = Iterator[tuple[int, bool]]
+
+
+def region_layout(layout: Layout | str) -> Layout:
+    """Parse a layout argument (re-exported convenience)."""
+    return Layout.parse(layout)
+
+
+@dataclass(frozen=True)
+class Mat:
+    """A 2-D address window: ``addr(i, j) = base + i*rstride + j*cstride``."""
+
+    base: int
+    rows: int
+    cols: int
+    rstride: int
+    cstride: int
+
+    def addr(self, i: int, j: int) -> int:
+        return self.base + i * self.rstride + j * self.cstride
+
+
+@dataclass(frozen=True)
+class Region:
+    """A tensor placed at word offset *base* in simulated memory."""
+
+    base: int
+    shape: tuple[int, ...]
+    layout: Layout = Layout.ROW_MAJOR
+
+    @property
+    def strides(self) -> tuple[int, ...]:
+        return element_strides(self.shape, self.layout)
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def end(self) -> int:
+        """One past the last word of this region."""
+        return self.base + self.size
+
+    def addr(self, index: Sequence[int]) -> int:
+        strides = self.strides
+        if len(index) != len(self.shape):
+            raise ShapeError(
+                f"index rank {len(index)} != region rank {len(self.shape)}"
+            )
+        return self.base + sum(i * s for i, s in zip(index, strides))
+
+    def matrix(
+        self,
+        row_modes: Sequence[int],
+        col_modes: Sequence[int],
+        fixed: Mapping[int, int] | None = None,
+    ) -> Mat:
+        """The in-place merged matrix view of this region (Lemma 4.1)."""
+        fixed = dict(fixed or {})
+        strides = self.strides
+        rows = math.prod(self.shape[m] for m in row_modes)
+        cols = math.prod(self.shape[m] for m in col_modes)
+        rstride = merged_stride(strides, self.shape, row_modes)
+        cstride = merged_stride(strides, self.shape, col_modes)
+        offset = sum(fixed[m] * strides[m] for m in fixed)
+        return Mat(self.base + offset, rows, cols, rstride, cstride)
+
+
+def gemm_trace(a: Mat, b: Mat, c: Mat, kc: int = 64) -> Trace:
+    """Accesses of a register-accumulating GEMM ``C = A B`` with K slabs.
+
+    For each K slab the kernel streams A and B and touches each C element
+    once (read-modify-write), matching the access volume of a packed
+    macrokernel without modelling the packing buffers themselves (they
+    are cache-resident by construction).
+    """
+    check_positive_int(kc, "kc")
+    if a.cols != b.rows or a.rows != c.rows or b.cols != c.cols:
+        raise ShapeError(
+            f"gemm trace shape mismatch: A {a.rows}x{a.cols}, "
+            f"B {b.rows}x{b.cols}, C {c.rows}x{c.cols}"
+        )
+    for pc in range(0, a.cols, kc):
+        p_hi = min(pc + kc, a.cols)
+        for i in range(a.rows):
+            for j in range(b.cols):
+                for p in range(pc, p_hi):
+                    yield a.addr(i, p), False
+                    yield b.addr(p, j), False
+                yield c.addr(i, j), True
+
+
+def blocked_gemm_trace(
+    a: Mat,
+    b: Mat,
+    c: Mat,
+    mc: int = 32,
+    kc: int = 32,
+    nc: int = 64,
+    pack_base: int | None = None,
+) -> Trace:
+    """Accesses of a Goto-blocked GEMM **including packing traffic**.
+
+    Mirrors :func:`repro.gemm.blocked.gemm_blocked`: the ``KC x NC``
+    panel of B and the ``MC x KC`` block of A are copied into contiguous
+    buffers (placed at *pack_base*; default just past C), and the
+    macrokernel reads only those buffers.  Replaying this against
+    :func:`gemm_trace` (no blocking) quantifies what the packing buys:
+    the extra pack reads/writes versus the removed capacity misses.
+    """
+    check_positive_int(mc, "mc")
+    check_positive_int(kc, "kc")
+    check_positive_int(nc, "nc")
+    if a.cols != b.rows or a.rows != c.rows or b.cols != c.cols:
+        raise ShapeError(
+            f"gemm trace shape mismatch: A {a.rows}x{a.cols}, "
+            f"B {b.rows}x{b.cols}, C {c.rows}x{c.cols}"
+        )
+    if pack_base is None:
+        pack_base = (
+            max(
+                a.addr(max(a.rows - 1, 0), max(a.cols - 1, 0)),
+                b.addr(max(b.rows - 1, 0), max(b.cols - 1, 0)),
+                c.addr(max(c.rows - 1, 0), max(c.cols - 1, 0)),
+            )
+            + 1
+        )
+    pack_b_base = pack_base
+    pack_a_base = pack_base + kc * nc
+    for jc in range(0, b.cols, nc):
+        j_hi = min(jc + nc, b.cols)
+        for pc in range(0, a.cols, kc):
+            p_hi = min(pc + kc, a.cols)
+            width = j_hi - jc
+            # Pack the B panel contiguously (row-major in the buffer).
+            for p in range(pc, p_hi):
+                for j in range(jc, j_hi):
+                    yield b.addr(p, j), False
+                    yield pack_b_base + (p - pc) * width + (j - jc), True
+            for ic in range(0, a.rows, mc):
+                i_hi = min(ic + mc, a.rows)
+                depth = p_hi - pc
+                for i in range(ic, i_hi):
+                    for p in range(pc, p_hi):
+                        yield a.addr(i, p), False
+                        yield pack_a_base + (i - ic) * depth + (p - pc), True
+                # Macrokernel on the packed buffers.
+                for i in range(ic, i_hi):
+                    for j in range(jc, j_hi):
+                        for p in range(pc, p_hi):
+                            yield (
+                                pack_a_base + (i - ic) * depth + (p - pc),
+                                False,
+                            )
+                            yield (
+                                pack_b_base + (p - pc) * width + (j - jc),
+                                False,
+                            )
+                        yield c.addr(i, j), True
+
+
+def copy_trace(
+    src: Region, dst: Region, perm: Sequence[int] | None = None
+) -> Trace:
+    """Accesses of ``dst = permute(src, perm)`` written in dst storage order.
+
+    This is the physical permutation of Algorithm 1: the destination is
+    streamed sequentially while the source is gathered with (generally)
+    large strides — the locality pathology in-place TTM avoids.
+    """
+    ndim = len(src.shape)
+    if perm is None:
+        perm = tuple(range(ndim))
+    if len(dst.shape) != ndim or any(
+        dst.shape[pos] != src.shape[axis] for pos, axis in enumerate(perm)
+    ):
+        raise ShapeError(
+            f"dst shape {dst.shape} is not src {src.shape} permuted by {perm}"
+        )
+    # Enumerate destination indices in destination *storage* order so the
+    # writes stream; read the matching source element.
+    dims = range(ndim)
+    if dst.layout is Layout.ROW_MAJOR:
+        loop_axes = list(dims)
+    else:
+        loop_axes = list(reversed(dims))
+    ranges = [range(dst.shape[ax]) for ax in loop_axes]
+    for combo in itertools.product(*ranges):
+        dst_index = [0] * ndim
+        for ax, value in zip(loop_axes, combo):
+            dst_index[ax] = value
+        src_index = [0] * ndim
+        for pos, axis in enumerate(perm):
+            src_index[axis] = dst_index[pos]
+        yield src.addr(src_index), False
+        yield dst.addr(dst_index), True
+
+
+def ttm_copy_trace(
+    shape: Sequence[int],
+    j: int,
+    mode: int,
+    layout: Layout | str = Layout.ROW_MAJOR,
+    kc: int = 64,
+) -> Trace:
+    """The full Algorithm-1 trace: unfold copy, GEMM, fold copy.
+
+    Memory map (word offsets): ``X | X_mat | U | Y_mat | Y`` — the same
+    five allocations the Tensor Toolbox path uses (input, matricized
+    input, matrix, matricized output, output).
+    """
+    layout = Layout.parse(layout)
+    shape_t = tuple(int(s) for s in shape)
+    mode = check_mode(mode, len(shape_t))
+    check_positive_int(j, "j")
+    n_dim = shape_t[mode]
+    rest = math.prod(shape_t) // n_dim
+    perm = unfold_permutation(len(shape_t), mode)
+
+    x = Region(0, shape_t, layout)
+    x_mat_shape = tuple(shape_t[p] for p in perm)
+    x_mat = Region(x.end, x_mat_shape, layout)
+    u = Region(x_mat.end, (j, n_dim), layout)
+    y_mat_shape = (j,) + x_mat_shape[1:]
+    y_mat = Region(u.end, y_mat_shape, layout)
+    out_shape = shape_t[:mode] + (j,) + shape_t[mode + 1 :]
+    y = Region(y_mat.end, out_shape, layout)
+
+    # 1. Matricize: physically permute X into X_mat (mode first).
+    yield from copy_trace(x, x_mat, perm)
+    # 2. Multiply: Y_mat = U @ X_mat viewed as (I_n x rest) etc.
+    rest_modes = tuple(range(1, len(shape_t)))
+    a = u.matrix((0,), (1,))
+    b = x_mat.matrix((0,), rest_modes) if len(shape_t) > 1 else Mat(
+        x_mat.base, n_dim, 1, 1, 1
+    )
+    c = y_mat.matrix((0,), rest_modes) if len(shape_t) > 1 else Mat(
+        y_mat.base, j, 1, 1, 1
+    )
+    yield from gemm_trace(a, Mat(b.base, n_dim, rest, b.rstride, b.cstride),
+                          Mat(c.base, j, rest, c.rstride, c.cstride), kc=kc)
+    # 3. Tensorize: fold Y_mat back into Y's natural mode order.
+    inv = [0] * len(perm)
+    for pos, axis in enumerate(perm):
+        inv[axis] = pos
+    yield from copy_trace(y_mat, y, tuple(inv))
+
+
+def ttm_inplace_trace(
+    shape: Sequence[int],
+    j: int,
+    mode: int,
+    layout: Layout | str = Layout.ROW_MAJOR,
+    degree: int | None = None,
+    kc: int = 64,
+) -> Trace:
+    """The Algorithm-2 trace: nested loops over loop modes, in-place GEMMs.
+
+    Memory map: ``X | U | Y`` only — no matricization buffers, the space
+    saving the paper reports (~50%).  *degree* selects how many contiguous
+    modes join the component set ``M_C`` (default: all of them — maximal
+    merge, the forward strategy for row-major / backward for col-major).
+    """
+    layout = Layout.parse(layout)
+    shape_t = tuple(int(s) for s in shape)
+    order = len(shape_t)
+    mode = check_mode(mode, order)
+    check_positive_int(j, "j")
+
+    x = Region(0, shape_t, layout)
+    u = Region(x.end, (j, shape_t[mode]), layout)
+    out_shape = shape_t[:mode] + (j,) + shape_t[mode + 1 :]
+    y = Region(u.end, out_shape, layout)
+
+    if layout is Layout.ROW_MAJOR:
+        available = tuple(range(mode + 1, order))  # forward strategy
+        take_from_end = False
+    else:
+        available = tuple(range(0, mode))  # backward strategy
+        take_from_end = True
+    if degree is None:
+        degree = len(available)
+    if degree > len(available):
+        raise ShapeError(
+            f"degree {degree} exceeds the {len(available)} contiguous "
+            f"modes available for mode-{mode} under {layout.name}"
+        )
+    if degree == 0:
+        component: tuple[int, ...] = ()  # fiber representation (Level 2)
+    elif take_from_end:
+        component = available[:degree]
+    else:
+        component = available[-degree:]
+    loop_modes = tuple(
+        m for m in range(order) if m != mode and m not in component
+    )
+
+    u_mat = u.matrix((0,), (1,))
+    ranges = [range(shape_t[m]) for m in loop_modes]
+    for combo in itertools.product(*ranges):
+        fixed = dict(zip(loop_modes, combo))
+        if component:
+            x_sub = x.matrix((mode,), component, fixed)
+            y_sub = y.matrix((mode,), component, fixed)
+        else:
+            x_sub = Mat(x.addr(_full_index(fixed, mode, 0, order)),
+                        shape_t[mode], 1, x.strides[mode], 1)
+            y_sub = Mat(y.addr(_full_index(fixed, mode, 0, order)),
+                        j, 1, y.strides[mode], 1)
+        # Y_sub (J x P) = U (J x I_n) @ X_sub (I_n x P).
+        yield from gemm_trace(u_mat, x_sub, y_sub, kc=kc)
+
+
+def _full_index(fixed: Mapping[int, int], mode: int, at: int, order: int):
+    return tuple(fixed.get(m, at if m == mode else 0) for m in range(order))

@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the host configuration (the table-2 analogue).
+``plan SHAPE MODE J``
+    Print the input-adaptive plan and the generated source for one TTM
+    input, e.g. ``python -m repro plan 100x100x100 1 16``.
+``profile OUT.json``
+    Measure the GEMM shape benchmark on this host and save it for reuse
+    (the paper's offline-autotuning artifact).
+``predict SHAPE MODE J``
+    Rank all candidate configurations by model-predicted throughput.
+``bench NAME``
+    Run one paper experiment's harness (e.g. ``fig10``); ``bench list``
+    enumerates them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.util.errors import ReproError
+
+_BENCHES = {
+    "fig04": "bench_fig04_copy_overhead",
+    "fig05": "bench_fig05_gemm_shapes",
+    "fig08": "bench_fig08_thresholds",
+    "fig09": "bench_fig09_inttm_sweep",
+    "fig10": "bench_fig10_comparison",
+    "fig11": "bench_fig11_mode_variability",
+    "fig12": "bench_fig12_heuristic_vs_exhaustive",
+    "table1": "bench_table1_representations",
+    "table2": "bench_table2_platforms",
+    "intensity": "bench_intensity_model",
+    "mttkrp": "bench_mttkrp",
+    "tucker": "bench_tucker_e2e",
+    "sparse": "bench_sparse_ttm",
+    "distributed": "bench_distributed_ttm",
+    "ablation-chain": "bench_ablation_chain",
+    "ablation-estimator": "bench_ablation_estimator",
+    "ablation-degree": "bench_ablation_degree",
+    "ablation-kernels": "bench_ablation_kernels",
+    "ablation-threads": "bench_ablation_threads",
+}
+
+
+def _parse_shape(text: str) -> tuple[int, ...]:
+    try:
+        shape = tuple(int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise SystemExit(f"error: cannot parse shape {text!r}; use e.g. 100x100x100")
+    if not shape or any(s < 1 for s in shape):
+        raise SystemExit(f"error: invalid shape {shape}")
+    return shape
+
+
+def cmd_info(_args) -> int:
+    from repro.perf.machine import machine_info
+
+    for label, value in machine_info().table_rows():
+        print(f"{label:24s} {value}")
+    return 0
+
+
+def cmd_calibrate(_args) -> int:
+    from repro.perf.calibrate import host_platform
+
+    platform = host_platform()
+    print(platform.name)
+    print(f"peak (all cores)   {platform.peak_gflops:.1f} GFLOP/s")
+    print(f"memory bandwidth   {platform.bandwidth_gbs:.1f} GB/s")
+    print(f"last-level cache   {platform.llc_bytes / 2**20:.0f} MiB")
+    print(f"cores / threads    {platform.cores} / {platform.threads_with_smt}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.core import InTensLi, generate_source
+    from repro.core.explain import explain_plan
+
+    shape = _parse_shape(args.shape)
+    lib = InTensLi(max_threads=args.threads)
+    plan = lib.plan(shape, args.mode, args.j, args.layout)
+    if args.explain:
+        thresholds = lib.estimator.thresholds_for(args.j)
+        print(explain_plan(plan, thresholds, lib.estimator.pth_bytes))
+    else:
+        print(plan.describe())
+    print()
+    print(generate_source(plan))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.gemm.bench import default_shape_grid, measure_profile
+
+    grid = default_shape_grid(m_values=(args.j,))
+    threads = (1,) if args.threads == 1 else (1, args.threads)
+    print(
+        f"measuring {len(grid) * len(threads)} GEMM shapes "
+        f"(m={args.j}, threads={threads}) ..."
+    )
+    profile = measure_profile(grid, threads=threads)
+    profile.save(args.output)
+    print(f"saved {profile!r} to {args.output}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from repro.core import InTensLi, enumerate_plans, rank_plans
+
+    shape = _parse_shape(args.shape)
+    lib = InTensLi(max_threads=args.threads)
+    plans = enumerate_plans(
+        shape, args.mode, args.j, args.layout, max_threads=args.threads
+    )
+    chosen = lib.plan(shape, args.mode, args.j, args.layout)
+    for plan, gflops in rank_plans(plans, lib.profile):
+        marker = "  <- estimator" if plan == chosen else ""
+        print(f"{gflops:8.2f} GFLOP/s (predicted)  {plan.describe()}{marker}")
+    return 0
+
+
+def cmd_verify(_args) -> int:
+    """Check every TTM entry point against the equation-(1) oracle."""
+    from repro.baselines import ttm_copy, ttm_ctf_like
+    from repro.core import InTensLi
+    from repro.core.inttm import ttm_inplace
+    from repro.testing import assert_ttm_consistent
+
+    lib_generated = InTensLi(executor="generated")
+    lib_interpreted = InTensLi(executor="interpreted")
+    entry_points = {
+        "inttm (generated)": lib_generated.ttm,
+        "inttm (interpreted)": lib_interpreted.ttm,
+        "ttm_inplace (default plan)": ttm_inplace,
+        "ttm_copy (Algorithm 1)": ttm_copy,
+        "ttm_ctf_like": ttm_ctf_like,
+    }
+    failures = 0
+    for name, fn in entry_points.items():
+        try:
+            checked = assert_ttm_consistent(fn)
+        except AssertionError as exc:
+            print(f"FAIL  {name}: {exc}")
+            failures += 1
+        else:
+            print(f"ok    {name}: {checked} cases")
+    if failures:
+        print(f"{failures} entry point(s) failed verification",
+              file=sys.stderr)
+        return 1
+    print("all TTM entry points agree with the equation-(1) oracle")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    if args.name == "list":
+        for name in sorted(_BENCHES):
+            print(name)
+        return 0
+    module_name = _BENCHES.get(args.name)
+    if module_name is None:
+        print(
+            f"error: unknown experiment {args.name!r}; "
+            f"try: {', '.join(sorted(_BENCHES))}",
+            file=sys.stderr,
+        )
+        return 2
+    import os
+
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    if root not in sys.path:
+        sys.path.insert(0, root)
+    module = importlib.import_module(f"benchmarks.{module_name}")
+    module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="INTENSLI reproduction: in-place, input-adaptive TTM",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print host configuration").set_defaults(
+        fn=cmd_info
+    )
+
+    sub.add_parser(
+        "calibrate", help="measure this host's roofline parameters"
+    ).set_defaults(fn=cmd_calibrate)
+
+    sub.add_parser(
+        "verify", help="self-test every TTM entry point against the oracle"
+    ).set_defaults(fn=cmd_verify)
+
+    plan = sub.add_parser("plan", help="show the plan for one TTM input")
+    plan.add_argument("shape", help="tensor shape, e.g. 100x100x100")
+    plan.add_argument("mode", type=int, help="0-based product mode")
+    plan.add_argument("j", type=int, help="output rank J")
+    plan.add_argument("--layout", default="C", choices=["C", "F"])
+    plan.add_argument("--threads", type=int, default=1)
+    plan.add_argument(
+        "--explain", action="store_true",
+        help="print the decision rationale (strategy, degree, PTH, kernel)",
+    )
+    plan.set_defaults(fn=cmd_plan)
+
+    profile = sub.add_parser("profile", help="measure + save a GEMM profile")
+    profile.add_argument("output", help="output JSON path")
+    profile.add_argument("--j", type=int, default=16)
+    profile.add_argument("--threads", type=int, default=1)
+    profile.set_defaults(fn=cmd_profile)
+
+    predict = sub.add_parser(
+        "predict", help="rank candidate plans by predicted GFLOP/s"
+    )
+    predict.add_argument("shape")
+    predict.add_argument("mode", type=int)
+    predict.add_argument("j", type=int)
+    predict.add_argument("--layout", default="C", choices=["C", "F"])
+    predict.add_argument("--threads", type=int, default=1)
+    predict.set_defaults(fn=cmd_predict)
+
+    bench = sub.add_parser("bench", help="run one paper experiment")
+    bench.add_argument("name", help="experiment id (or 'list')")
+    bench.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

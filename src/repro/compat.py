@@ -1,0 +1,151 @@
+"""Tensor Toolbox-style compatibility layer.
+
+The baseline this paper measures against is MATLAB's Tensor Toolbox,
+whose conventions differ from this library's: 1-based modes,
+column-major storage, ``ttm(X, A, n)`` / ``ttm(X, A, n, 't')`` call
+forms, list-of-matrices chains, and negative-mode exclusion
+(``ttm(X, As, -n)`` = multiply along every mode except ``n``).  This
+module speaks those conventions while executing everything through the
+in-place input-adaptive framework — the drop-in-replacement story made
+literal for code being ported from the Toolbox.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.chain import ChainStep, ttm_chain
+from repro.core.intensli import ttm as _adaptive_ttm
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import COL_MAJOR
+from repro.tensor.unfold import unfold as _unfold
+from repro.util.errors import ShapeError
+
+
+def tensor(data: np.ndarray) -> DenseTensor:
+    """``tensor(A)``: wrap an array in MATLAB (column-major) convention."""
+    return DenseTensor(np.asarray(data, dtype=np.float64), COL_MAJOR)
+
+
+def ndims(x: DenseTensor) -> int:
+    """``ndims(X)``: the tensor order."""
+    return x.order
+
+
+def size(x: DenseTensor, n: int | None = None):
+    """``size(X)`` or ``size(X, n)`` with a 1-based mode."""
+    if n is None:
+        return x.shape
+    return x.shape[_to_zero_based(n, x.order)]
+
+
+def norm(x: DenseTensor) -> float:
+    """``norm(X)``: the Frobenius norm."""
+    return float(np.linalg.norm(x.data))
+
+
+def tenmat(x: DenseTensor, rdim: int) -> np.ndarray:
+    """``tenmat(X, n)``: the mode-n unfolding, 1-based mode.
+
+    Matches the Toolbox's column ordering for column-major tensors
+    (remaining modes in increasing order, first varying fastest).
+    """
+    return _unfold(x, _to_zero_based(rdim, x.order))
+
+
+def _to_zero_based(n: int, order: int) -> int:
+    if not isinstance(n, (int, np.integer)) or isinstance(n, bool):
+        raise TypeError(f"mode must be an int, got {type(n).__name__}")
+    if not 1 <= n <= order:
+        raise ShapeError(
+            f"mode {n} out of range for an order-{order} tensor (1-based)"
+        )
+    return int(n) - 1
+
+
+def ttm(
+    x: DenseTensor,
+    matrices,
+    n=None,
+    flag: str = "",
+) -> DenseTensor:
+    """Tensor Toolbox ``ttm``, all call forms.
+
+    * ``ttm(X, A, n)`` — mode-n product with ``A (J x I_n)``, n 1-based;
+    * ``ttm(X, A, n, 't')`` — uses ``A``'s transpose (``A`` is
+      ``I_n x J``), served as a view;
+    * ``ttm(X, {A1..Ak}, [n1..nk])`` — a chain (order-optimized);
+    * ``ttm(X, {A1..AN}, -n)`` — every mode except ``n``;
+    * ``ttm(X, {A1..AN})`` — every mode.
+    """
+    if not isinstance(x, DenseTensor):
+        x = tensor(x)
+    if flag not in ("", "t"):
+        raise ShapeError(f"flag must be '' or 't', got {flag!r}")
+    transpose = flag == "t"
+
+    if isinstance(matrices, np.ndarray):
+        if n is None:
+            raise ShapeError("ttm with a single matrix needs a mode")
+        mode = _to_zero_based(int(n), x.order)
+        u = matrices.T if transpose else matrices
+        return _adaptive_ttm(x, np.asarray(u, dtype=np.float64), mode)
+
+    mats = [np.asarray(m, dtype=np.float64) for m in matrices]
+    order = x.order
+    if n is None:
+        modes = list(range(1, len(mats) + 1))
+    elif isinstance(n, (int, np.integer)):
+        if n < 0:
+            skip = _to_zero_based(int(-n), order)
+            if len(mats) not in (order, order - 1):
+                raise ShapeError(
+                    f"ttm(X, As, -n) needs {order} (indexed by mode) or "
+                    f"{order - 1} matrices, got {len(mats)}"
+                )
+            modes_0 = [m for m in range(order) if m != skip]
+            if len(mats) == order:
+                mats = [mats[m] for m in modes_0]
+            modes = [m + 1 for m in modes_0]
+        else:
+            modes = [int(n)]
+            if len(mats) != 1:
+                raise ShapeError(
+                    "a single positive mode takes a single matrix"
+                )
+    else:
+        modes = [int(m) for m in n]
+    if len(modes) != len(mats):
+        raise ShapeError(
+            f"{len(mats)} matrices but {len(modes)} modes"
+        )
+    steps = []
+    for mode_1, u in zip(modes, mats):
+        mode = _to_zero_based(mode_1, order)
+        u_eff = u.T if transpose else u
+        steps.append(ChainStep(mode, u_eff))
+    return ttm_chain(x, steps, backend=_adaptive_ttm, order="greedy")
+
+
+def ttv(x: DenseTensor, vector: np.ndarray, n: int) -> DenseTensor | float:
+    """``ttv(X, v, n)``: tensor-times-vector, 1-based mode.
+
+    Contracts mode *n* away entirely (order drops by one); an order-1
+    input yields a scalar.
+    """
+    if not isinstance(x, DenseTensor):
+        x = tensor(x)
+    v = np.asarray(vector, dtype=np.float64)
+    if v.ndim != 1:
+        raise ShapeError(f"v must be 1-D, got {v.ndim}-D")
+    mode = _to_zero_based(n, x.order)
+    if v.shape[0] != x.shape[mode]:
+        raise ShapeError(
+            f"v has length {v.shape[0]}, mode {n} has extent "
+            f"{x.shape[mode]}"
+        )
+    contracted = _adaptive_ttm(x, v[None, :], mode)
+    squeezed = np.squeeze(contracted.data, axis=mode)
+    if squeezed.ndim == 0:
+        return float(squeezed)
+    return DenseTensor(squeezed, x.layout)

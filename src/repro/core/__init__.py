@@ -1,0 +1,81 @@
+"""The paper's contribution: input-adaptive, in-place TTM (INTENSLI).
+
+Pipeline (figure 7): inputs (tensor geometry, layout, mode, a GEMM shape
+benchmark, thread budget) feed the **parameter estimator**, which fixes
+the four plan parameters — loop modes ``M_L``, component modes ``M_C``,
+loop threads ``P_L``, kernel threads ``P_C`` — and the kernel choice;
+the plan then drives either the generic **executor**
+(:func:`repro.core.inttm.ttm_inplace`) or a **generated** specialized
+implementation (:mod:`repro.core.codegen`).
+
+Most users want the :class:`repro.core.intensli.InTensLi` facade or the
+top-level :func:`repro.ttm`.
+"""
+
+from repro.core.plan import TtmPlan, Strategy
+from repro.core.partition import (
+    Thresholds,
+    available_component_modes,
+    choose_degree,
+    component_modes_for_degree,
+    derive_thresholds,
+    kernel_working_set_bytes,
+)
+from repro.core.threads import ThreadAllocation, allocate_threads, DEFAULT_PTH_BYTES
+from repro.core.estimator import ParameterEstimator
+from repro.core.inttm import ttm_inplace
+from repro.core.codegen import compile_plan, generate_source
+from repro.core.tuner import ExhaustiveTuner, TunerResult, enumerate_plans
+from repro.core.predict import predict_gflops, predict_seconds, rank_plans
+from repro.core.serialize import (
+    load_plans,
+    plan_from_dict,
+    plan_to_dict,
+    plans_from_json,
+    plans_to_json,
+    save_plans,
+)
+from repro.core.chain import (
+    ChainStep,
+    chain_flops,
+    greedy_order,
+    optimal_order,
+    ttm_chain,
+)
+from repro.core.intensli import InTensLi
+
+__all__ = [
+    "TtmPlan",
+    "Strategy",
+    "Thresholds",
+    "available_component_modes",
+    "choose_degree",
+    "component_modes_for_degree",
+    "derive_thresholds",
+    "kernel_working_set_bytes",
+    "ThreadAllocation",
+    "allocate_threads",
+    "DEFAULT_PTH_BYTES",
+    "ParameterEstimator",
+    "ttm_inplace",
+    "compile_plan",
+    "generate_source",
+    "ExhaustiveTuner",
+    "TunerResult",
+    "enumerate_plans",
+    "ChainStep",
+    "chain_flops",
+    "greedy_order",
+    "optimal_order",
+    "ttm_chain",
+    "predict_gflops",
+    "predict_seconds",
+    "rank_plans",
+    "load_plans",
+    "plan_from_dict",
+    "plan_to_dict",
+    "plans_from_json",
+    "plans_to_json",
+    "save_plans",
+    "InTensLi",
+]

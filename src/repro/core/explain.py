@@ -1,0 +1,116 @@
+"""Plan explanation: why the estimator chose what it chose.
+
+Autotuners earn trust by showing their work.  :func:`explain_plan`
+renders a plan's decision trail in the terms of the paper's §4.3.1 —
+which strategy and why, how the degree relates to the MSTH/MLTH window,
+which side of PTH the kernel fell on, and whether the views are
+BLAS-legal — as plain text for the CLI (``repro plan --explain``) and
+for logging in deployments.
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import Thresholds
+from repro.core.plan import Strategy, TtmPlan
+from repro.core.threads import DEFAULT_PTH_BYTES
+from repro.tensor.layout import Layout
+from repro.util.formatting import format_bytes
+
+
+def explain_plan(
+    plan: TtmPlan,
+    thresholds: Thresholds | None = None,
+    pth_bytes: int = DEFAULT_PTH_BYTES,
+) -> str:
+    """A multi-line, human-readable rationale for *plan*."""
+    lines = [plan.describe(), ""]
+
+    # -- strategy --------------------------------------------------------------
+    natural = Strategy.natural_for(plan.layout)
+    layout_name = (
+        "row-major" if plan.layout is Layout.ROW_MAJOR else "column-major"
+    )
+    if plan.strategy is natural:
+        side = "right" if plan.strategy is Strategy.FORWARD else "left"
+        lines.append(
+            f"strategy: {plan.strategy.value} — the natural choice for "
+            f"{layout_name} storage; merging modes to the {side} of mode "
+            f"{plan.mode} keeps the unit-stride dimension inside the kernel."
+        )
+    else:
+        lines.append(
+            f"strategy: {plan.strategy.value} (fallback) — mode {plan.mode} "
+            f"has no {natural.value}-side modes in {layout_name} storage; "
+            "the opposite side is used, and the contracted mode itself "
+            "carries the unit stride, so the kernel stays BLAS-legal."
+        )
+
+    # -- degree ------------------------------------------------------------------
+    ws = plan.kernel_working_set_bytes
+    m, k, n = plan.kernel_shape
+    degree_line = (
+        f"degree: {plan.degree} — inner GEMM is ({m} x {k}) @ ({k} x {n}), "
+        f"working set {format_bytes(ws)}"
+    )
+    if thresholds is not None:
+        if thresholds.contains(ws):
+            degree_line += (
+                f"; inside the [MSTH={format_bytes(thresholds.msth_bytes)}, "
+                f"MLTH={format_bytes(thresholds.mlth_bytes)}] window."
+            )
+        elif ws < thresholds.msth_bytes:
+            degree_line += (
+                f"; below MSTH={format_bytes(thresholds.msth_bytes)} — no "
+                "larger merge was available (or the model preferred this "
+                "degree after pricing loop overhead)."
+            )
+        else:
+            degree_line += (
+                f"; above MLTH={format_bytes(thresholds.mlth_bytes)} — the "
+                "smallest legal kernel still overshoots the window."
+            )
+    lines.append(degree_line)
+    if plan.degree == 0:
+        lines.append(
+            "  (degree 0 = fiber representation: no contiguous modes were "
+            "available to merge at all — order-1 input.)"
+        )
+
+    # -- loops -------------------------------------------------------------------
+    if plan.loop_modes:
+        extents = " x ".join(str(e) for e in plan.loop_extents)
+        lines.append(
+            f"loops: modes {list(plan.loop_modes)} — {extents} = "
+            f"{plan.loop_iterations} kernel invocations."
+        )
+    else:
+        lines.append(
+            "loops: none — the merge covers every non-product mode, so the "
+            "whole TTM is a single kernel call (or one batched matmul)."
+        )
+
+    # -- threads -----------------------------------------------------------------
+    if plan.loop_threads == plan.kernel_threads == 1:
+        lines.append("threads: serial (budget of 1).")
+    elif plan.kernel_threads > 1:
+        lines.append(
+            f"threads: P_C={plan.kernel_threads} inside the kernel — the "
+            f"working set {format_bytes(ws)} is at or above "
+            f"PTH={format_bytes(pth_bytes)}, large enough to amortize "
+            "intra-GEMM parallelism."
+        )
+    else:
+        lines.append(
+            f"threads: P_L={plan.loop_threads} across the loop nest — the "
+            f"kernel ({format_bytes(ws)}) is below "
+            f"PTH={format_bytes(pth_bytes)}, so coarse-grained parallelism "
+            "wins."
+        )
+
+    # -- kernel ------------------------------------------------------------------
+    legal = plan.views_blas_legal
+    lines.append(
+        f"kernel: {plan.kernel} — sub-tensor views are "
+        f"{'BLAS-legal (unit stride in one dimension)' if legal else 'general-stride (both strides non-unit); the blocked BLIS-role kernel packs panels'}."
+    )
+    return "\n".join(lines)

@@ -1,0 +1,260 @@
+"""The INTENSLI facade: benchmark management, plan caching, execution.
+
+``InTensLi`` ties the whole framework together the way figure 7 draws it:
+
+* it owns (or builds) the **MM benchmark** — measured on this host, or a
+  deterministic synthetic profile for a platform preset;
+* for each new input signature it runs the **parameter estimator** and
+  caches the resulting plan;
+* it executes plans either through the generic interpreter
+  (:func:`repro.core.inttm.ttm_inplace`) or through **generated code**
+  (:mod:`repro.core.codegen`).
+
+The top-level :func:`repro.ttm` wraps a module-wide default instance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.roofline import CORE_I7_4770K, RooflinePlatform
+from repro.core.codegen import compile_plan
+from repro.core.estimator import ParameterEstimator
+from repro.core.inttm import ttm_inplace
+from repro.core.plan import TtmPlan
+from repro.core.threads import DEFAULT_PTH_BYTES
+from repro.gemm.bench import (
+    GemmProfile,
+    default_shape_grid,
+    measure_profile,
+    synthetic_profile,
+)
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import Layout
+from repro.util.errors import ShapeError
+from repro.util.validation import check_positive_int
+
+
+class InTensLi:
+    """Input-adaptive, in-place TTM with plan caching.
+
+    Parameters
+    ----------
+    profile:
+        A pre-built GEMM benchmark.  When None, one is created according
+        to *benchmark*: ``"synthetic"`` (default; the roofline model of
+        *platform* — fast and deterministic) or ``"measure"`` (time real
+        kernels on this host; slower, once per process).
+    platform:
+        Roofline preset used for synthetic profiles.
+    max_threads:
+        The thread budget for ``P_L``/``P_C``.
+    executor:
+        ``"generated"`` (default: compile specialized code per plan) or
+        ``"interpreted"`` (the generic Algorithm-2 interpreter).
+    """
+
+    def __init__(
+        self,
+        profile: GemmProfile | None = None,
+        platform: RooflinePlatform = CORE_I7_4770K,
+        max_threads: int = 1,
+        benchmark: str = "synthetic",
+        benchmark_j: Sequence[int] = (16,),
+        pth_bytes: int = DEFAULT_PTH_BYTES,
+        kappa: float = 0.8,
+        executor: str = "generated",
+    ) -> None:
+        check_positive_int(max_threads, "max_threads")
+        if executor not in ("generated", "interpreted"):
+            raise ShapeError(
+                f"executor must be 'generated' or 'interpreted', got {executor!r}"
+            )
+        if profile is None:
+            grid = default_shape_grid(m_values=tuple(benchmark_j))
+            threads = (1, max_threads) if max_threads > 1 else (1,)
+            if benchmark == "synthetic":
+                profile = synthetic_profile(grid, platform, threads=threads)
+            elif benchmark == "calibrate":
+                # Measure this host's roofline once (a GEMM + a STREAM
+                # triad), then evaluate the model — far cheaper than the
+                # full shape benchmark, host-accurate unlike a preset.
+                from repro.perf.calibrate import host_platform
+
+                platform = host_platform()
+                profile = synthetic_profile(grid, platform, threads=threads)
+            elif benchmark == "measure":
+                profile = measure_profile(grid, threads=threads)
+            else:
+                raise ShapeError(
+                    f"benchmark must be 'synthetic', 'calibrate', or "
+                    f"'measure', got {benchmark!r}"
+                )
+        self.profile = profile
+        self.platform = platform
+        self.max_threads = max_threads
+        self.executor = executor
+        self.estimator = ParameterEstimator(
+            profile=profile,
+            max_threads=max_threads,
+            pth_bytes=pth_bytes,
+            kappa=kappa,
+        )
+        self._plan_cache: dict[tuple, TtmPlan] = {}
+
+    # -- planning -------------------------------------------------------------
+
+    def plan(
+        self,
+        shape: Sequence[int],
+        mode: int,
+        j: int,
+        layout: Layout | str = Layout.ROW_MAJOR,
+    ) -> TtmPlan:
+        """The (cached) plan for an input signature."""
+        layout = Layout.parse(layout)
+        key = (tuple(int(s) for s in shape), mode, j, layout)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self.estimator.estimate(shape, mode, j, layout)
+            self._plan_cache[key] = plan
+        return plan
+
+    @property
+    def cached_plans(self) -> int:
+        return len(self._plan_cache)
+
+    def tune(
+        self,
+        x: DenseTensor,
+        u: np.ndarray,
+        mode: int,
+        kernels: Sequence[str] = ("blas",),
+        min_seconds: float = 0.02,
+    ) -> TtmPlan:
+        """Exhaustively tune this input on real data and pin the winner.
+
+        Runs the figure-12 sweep (:class:`~repro.core.tuner
+        .ExhaustiveTuner`) over every legal configuration, stores the
+        measured best in the plan cache (overriding the estimator for
+        this signature from now on), and returns it.  Use for hot
+        signatures where the one-off sweep cost is worth paying; the
+        pinned result survives ``save_plan_cache``.
+        """
+        from repro.core.tuner import ExhaustiveTuner
+
+        if not isinstance(x, DenseTensor):
+            x = DenseTensor(np.asarray(x))
+        u = np.asarray(u, dtype=np.float64)
+        if u.ndim != 2:
+            raise ShapeError(f"U must be 2-D (J x I_n), got {u.ndim}-D")
+        tuner = ExhaustiveTuner(
+            min_seconds=min_seconds,
+            executor=self.executor,
+        )
+        result = tuner.sweep(
+            x, u, mode, max_threads=self.max_threads, kernels=kernels
+        )
+        best = result.best_plan
+        self._plan_cache[best.cache_key()] = best
+        return best
+
+    def save_plan_cache(self, path: str) -> int:
+        """Persist every cached plan as JSON; returns the count saved."""
+        from repro.core.serialize import save_plans
+
+        plans = list(self._plan_cache.values())
+        save_plans(plans, path)
+        return len(plans)
+
+    def load_plan_cache(self, path: str) -> int:
+        """Pre-populate the plan cache from JSON; returns the count loaded.
+
+        Loaded plans take precedence over estimation for their inputs —
+        the offline-autotuning deployment mode.
+        """
+        from repro.core.serialize import load_plans
+
+        plans = load_plans(path)
+        for plan in plans:
+            self._plan_cache[plan.cache_key()] = plan
+        return len(plans)
+
+    # -- execution ------------------------------------------------------------
+
+    def ttm(
+        self,
+        x: DenseTensor,
+        u: np.ndarray,
+        mode: int,
+        out: DenseTensor | None = None,
+        transpose_u: bool = False,
+    ) -> DenseTensor:
+        """Compute ``Y = X x_mode U`` with the input-adaptive plan.
+
+        ``transpose_u=True`` computes ``X x_mode U^T`` for *u* of shape
+        ``(I_n, J)`` via a transpose view (Tensor Toolbox 't' flag).
+        """
+        if not isinstance(x, DenseTensor):
+            x = DenseTensor(np.asarray(x))
+        u = np.asarray(u, dtype=np.float64)
+        if u.ndim != 2:
+            raise ShapeError(f"U must be 2-D, got {u.ndim}-D")
+        if transpose_u:
+            u = u.T
+        plan = self.plan(x.shape, mode, u.shape[0], x.layout)
+        return self.execute(plan, x, u, out=out)
+
+    def execute(
+        self,
+        plan: TtmPlan,
+        x: DenseTensor,
+        u: np.ndarray,
+        out: DenseTensor | None = None,
+    ) -> DenseTensor:
+        """Run a specific plan (bypassing estimation) on real data."""
+        if self.executor == "interpreted":
+            return ttm_inplace(x, u, plan=plan, out=out)
+        if x.shape != plan.shape or x.layout is not plan.layout:
+            raise ShapeError(
+                f"plan is for {plan.shape}/{plan.layout.name}, tensor is "
+                f"{x.shape}/{x.layout.name}"
+            )
+        u = np.asarray(u, dtype=np.float64)
+        if u.shape != (plan.j, plan.i_n):
+            raise ShapeError(
+                f"U shape {u.shape} != (J={plan.j}, I_n={plan.i_n})"
+            )
+        if out is None:
+            out = DenseTensor.empty(plan.out_shape, plan.layout)
+        elif out.shape != plan.out_shape or out.layout is not plan.layout:
+            raise ShapeError(
+                f"out is {out.shape}/{out.layout.name}, plan needs "
+                f"{plan.out_shape}/{plan.layout.name}"
+            )
+        fn = compile_plan(plan)
+        fn(x.data, u, out.data)
+        return out
+
+
+_DEFAULT: InTensLi | None = None
+
+
+def default_intensli() -> InTensLi:
+    """The lazily constructed module-wide instance behind :func:`repro.ttm`."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = InTensLi()
+    return _DEFAULT
+
+
+def ttm(
+    x: DenseTensor,
+    u: np.ndarray,
+    mode: int,
+    out: DenseTensor | None = None,
+) -> DenseTensor:
+    """Input-adaptive in-place TTM using the default :class:`InTensLi`."""
+    return default_intensli().ttm(x, u, mode, out=out)

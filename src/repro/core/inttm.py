@@ -1,0 +1,206 @@
+"""The in-place TTM executor: Algorithm 2, interpreted from a plan.
+
+``ttm_inplace`` walks the loop-mode iteration space (in parallel when the
+plan says so), builds 2-D *views* of the input and output tensors with
+:func:`repro.tensor.views.merged_matrix_view` — never copying — and runs
+the planned GEMM kernel on each pair of views, writing straight through
+the output tensor's storage.
+
+Total extra memory: one J x I_n transpose of U for the backward strategy
+(a view, not a copy) and nothing else.  This is what "in-place" means in
+the paper: the conventional implementation's tensor-sized matricization
+buffers simply do not exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plan import Strategy, TtmPlan
+from repro.gemm.interface import gemm
+from repro.gemm.threaded import gemm_threaded
+from repro.parallel.parfor import parfor
+from repro.tensor.dense import DenseTensor
+from repro.tensor.views import merged_matrix_view
+from repro.util.errors import PlanError, ShapeError
+from repro.util.validation import check_mode, check_positive_int
+
+
+def default_plan(
+    shape,
+    mode: int,
+    j: int,
+    layout,
+    loop_threads: int = 1,
+    kernel_threads: int = 1,
+    kernel: str = "auto",
+    degree: int | None = None,
+) -> TtmPlan:
+    """A maximal-merge plan (all available contiguous modes in ``M_C``).
+
+    This is the un-tuned but always-correct choice; the estimator
+    (:mod:`repro.core.estimator`) refines the degree and thread split.
+    """
+    shape_t = tuple(int(s) for s in shape)
+    order = len(shape_t)
+    mode = check_mode(mode, order)
+    check_positive_int(j, "j")
+    from repro.core.partition import (
+        available_modes_for_strategy,
+        component_modes_for_strategy,
+        strategy_for,
+    )
+
+    strategy = strategy_for(order, mode, layout)
+    available = available_modes_for_strategy(order, mode, strategy)
+    if degree is None:
+        degree = len(available)
+    comp = component_modes_for_strategy(order, mode, strategy, degree)
+    loops = tuple(m for m in range(order) if m != mode and m not in comp)
+    return TtmPlan(
+        shape=shape_t,
+        mode=mode,
+        j=j,
+        layout=layout,
+        strategy=strategy,
+        component_modes=comp,
+        loop_modes=loops,
+        loop_threads=loop_threads,
+        kernel_threads=kernel_threads,
+        kernel=kernel,
+    )
+
+
+def _check_inputs(x: DenseTensor, u: np.ndarray, plan: TtmPlan) -> np.ndarray:
+    if not isinstance(x, DenseTensor):
+        raise TypeError(
+            f"x must be a DenseTensor, got {type(x).__name__}; wrap ndarrays "
+            "so the storage layout is explicit"
+        )
+    u = np.asarray(u, dtype=np.float64)
+    if u.ndim != 2:
+        raise ShapeError(f"U must be 2-D (J x I_n), got {u.ndim}-D")
+    if x.shape != plan.shape or x.layout is not plan.layout:
+        raise PlanError(
+            f"plan was built for shape {plan.shape} / {plan.layout.name}, "
+            f"got {x.shape} / {x.layout.name}"
+        )
+    if u.shape != (plan.j, plan.i_n):
+        raise ShapeError(
+            f"U shape {u.shape} does not match (J={plan.j}, I_n={plan.i_n})"
+        )
+    return u
+
+
+def _prepare_out(plan: TtmPlan, out: DenseTensor | None) -> DenseTensor:
+    if out is None:
+        return DenseTensor.empty(plan.out_shape, plan.layout)
+    if not isinstance(out, DenseTensor):
+        raise TypeError(f"out must be a DenseTensor, got {type(out).__name__}")
+    if out.shape != plan.out_shape or out.layout is not plan.layout:
+        raise PlanError(
+            f"out has shape {out.shape} / {out.layout.name}, plan needs "
+            f"{plan.out_shape} / {plan.layout.name}"
+        )
+    return out
+
+
+def _kernel_runner(plan: TtmPlan, accumulate: bool = False):
+    """A closure dispatching the inner GEMM per the plan's kernel/threads."""
+    if plan.kernel_threads > 1:
+        inner = "auto" if plan.kernel == "threaded" else plan.kernel
+        threads = plan.kernel_threads
+
+        def run(a, b, out):
+            gemm_threaded(a, b, out=out, threads=threads, kernel=inner,
+                          accumulate=accumulate)
+
+        return run
+    kernel = plan.kernel
+
+    def run(a, b, out):
+        gemm(a, b, out=out, kernel=kernel, accumulate=accumulate)
+
+    return run
+
+
+def ttm_inplace(
+    x: DenseTensor,
+    u: np.ndarray,
+    mode: int | None = None,
+    plan: TtmPlan | None = None,
+    out: DenseTensor | None = None,
+    transpose_u: bool = False,
+    accumulate: bool = False,
+) -> DenseTensor:
+    """Compute ``Y = X x_mode U`` in place of a preallocated output.
+
+    Either *plan* or *mode* must be given; with only *mode*, the maximal
+    default plan is used.  With ``transpose_u=True`` the product is
+    ``X x_mode U^T`` for *u* of shape ``(I_n, J)`` — the Tensor Toolbox's
+    ``ttm(X, A, n, 't')`` convention, served by a transpose *view* (no
+    copy), which is what Tucker's factor projections want.  With
+    ``accumulate=True`` (requires *out*) the product is *added* into the
+    output — GEMM's beta=1, useful for summing partial contractions.
+    Returns the output tensor (newly allocated when *out* is None).
+    """
+    if accumulate and out is None:
+        raise PlanError("accumulate=True requires a preallocated out")
+    if not isinstance(x, DenseTensor):
+        raise TypeError(
+            f"x must be a DenseTensor, got {type(x).__name__}; wrap ndarrays "
+            "so the storage layout is explicit"
+        )
+    if transpose_u:
+        u_arr = np.asarray(u, dtype=np.float64)
+        if u_arr.ndim != 2:
+            raise ShapeError(f"U must be 2-D (I_n x J), got {u_arr.ndim}-D")
+        u = u_arr.T  # a view; BLAS-legal (unit stride in one dimension)
+    if plan is None:
+        if mode is None:
+            raise PlanError("ttm_inplace needs a plan or a mode")
+        u_arr = np.asarray(u, dtype=np.float64)
+        if u_arr.ndim != 2:
+            raise ShapeError(f"U must be 2-D (J x I_n), got {u_arr.ndim}-D")
+        plan = default_plan(x.shape, mode, u_arr.shape[0], x.layout)
+    u = _check_inputs(x, u, plan)
+    y = _prepare_out(plan, out)
+    run_kernel = _kernel_runner(plan, accumulate=accumulate)
+
+    comp = plan.component_modes
+    mode_t = plan.mode
+    loops = plan.loop_modes
+    forward = plan.strategy is Strategy.FORWARD
+    ut = u.T  # view; used by the backward kernel form
+
+    if comp:
+        if forward:
+
+            def body(index):
+                fixed = dict(zip(loops, index))
+                x_sub = merged_matrix_view(x, (mode_t,), comp, fixed)
+                y_sub = merged_matrix_view(y, (mode_t,), comp, fixed)
+                # Algorithm 2, line 9: Y_sub = U @ X_sub.
+                run_kernel(u, x_sub, y_sub)
+
+        else:
+
+            def body(index):
+                fixed = dict(zip(loops, index))
+                x_sub = merged_matrix_view(x, comp, (mode_t,), fixed)
+                y_sub = merged_matrix_view(y, comp, (mode_t,), fixed)
+                # Algorithm 2, line 5: Y_sub = X_sub @ U'.
+                run_kernel(x_sub, ut, y_sub)
+
+    else:
+        # Degree 0: fiber representation; each kernel is a GEMV-shaped GEMM.
+        from repro.tensor.views import fiber
+
+        def body(index):
+            fixed = dict(zip(loops, index))
+            x_fib = fiber(x, mode_t, fixed)[:, np.newaxis]
+            y_fib = fiber(y, mode_t, fixed)[:, np.newaxis]
+            run_kernel(u, x_fib, y_fib)
+
+    parfor(plan.loop_extents, body, threads=plan.loop_threads)
+    return y

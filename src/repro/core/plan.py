@@ -1,0 +1,196 @@
+"""The TTM execution plan: the tuple of choices the estimator makes.
+
+A :class:`TtmPlan` pins down, for one (tensor geometry, mode, J, layout)
+input, everything Algorithm 2 leaves open:
+
+* the **strategy** — forward (component modes to the right of mode *n*;
+  the unit-stride choice for row-major storage) or backward (to the
+  left; unit-stride for column-major);
+* the **component modes** ``M_C`` merged into the inner GEMM;
+* the **loop modes** ``M_L`` iterated by the (possibly parallel) nest;
+* the thread split ``P_L`` / ``P_C``;
+* the inner **kernel** (``blas`` fast path or ``blocked`` general-stride).
+
+Plans are frozen, hashable, and fully validated at construction, so the
+executor and the code generator can trust them blindly — and the plan
+cache can key on them.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.tensor.layout import Layout
+from repro.util.errors import PlanError
+
+
+class Strategy(enum.Enum):
+    """Which side of mode *n* supplies the component modes (§4.3.1)."""
+
+    FORWARD = "forward"    # M_C from {n+1, ..., N-1} (rightmost modes)
+    BACKWARD = "backward"  # M_C from {0, ..., n-1} (leftmost modes)
+
+    @classmethod
+    def natural_for(cls, layout: Layout) -> "Strategy":
+        """The unit-stride strategy for a storage layout."""
+        return cls.FORWARD if layout is Layout.ROW_MAJOR else cls.BACKWARD
+
+
+@dataclass(frozen=True)
+class TtmPlan:
+    """A fully specified in-place TTM execution recipe."""
+
+    shape: tuple[int, ...]
+    mode: int
+    j: int
+    layout: Layout
+    strategy: Strategy
+    component_modes: tuple[int, ...]
+    loop_modes: tuple[int, ...]
+    loop_threads: int = 1
+    kernel_threads: int = 1
+    kernel: str = "auto"
+
+    def __post_init__(self) -> None:
+        order = len(self.shape)
+        if order < 1:
+            raise PlanError("plan requires an order >= 1 tensor")
+        if not 0 <= self.mode < order:
+            raise PlanError(f"mode {self.mode} out of range for order {order}")
+        if self.j < 1:
+            raise PlanError(f"J must be >= 1, got {self.j}")
+        if self.loop_threads < 1 or self.kernel_threads < 1:
+            raise PlanError("thread counts must be >= 1")
+        mc, ml = set(self.component_modes), set(self.loop_modes)
+        if mc & ml:
+            raise PlanError(f"M_C {mc} and M_L {ml} overlap")
+        if self.mode in mc or self.mode in ml:
+            raise PlanError(f"mode {self.mode} cannot be a loop/component mode")
+        if mc | ml | {self.mode} != set(range(order)):
+            raise PlanError(
+                f"M_C {sorted(mc)} + M_L {sorted(ml)} + mode {self.mode} "
+                f"do not cover all modes of order {order}"
+            )
+        comp = list(self.component_modes)
+        if comp != sorted(comp) or (
+            comp and comp != list(range(comp[0], comp[0] + len(comp)))
+        ):
+            raise PlanError(
+                f"component modes {comp} must be a sorted consecutive run"
+            )
+        if comp:
+            if self.strategy is Strategy.FORWARD:
+                # Rightmost run: must start after mode and end at N-1.
+                if comp[0] <= self.mode or comp[-1] != order - 1:
+                    raise PlanError(
+                        f"forward strategy requires M_C to be the rightmost "
+                        f"modes after {self.mode}, got {comp}"
+                    )
+            else:
+                if comp[-1] >= self.mode or comp[0] != 0:
+                    raise PlanError(
+                        f"backward strategy requires M_C to be the leftmost "
+                        f"modes before {self.mode}, got {comp}"
+                    )
+
+    # -- derived geometry ---------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        return len(self.shape)
+
+    @property
+    def degree(self) -> int:
+        """|M_C|: how many modes are merged into the inner GEMM."""
+        return len(self.component_modes)
+
+    @property
+    def i_n(self) -> int:
+        """Extent of the contracted mode."""
+        return self.shape[self.mode]
+
+    @property
+    def component_extent(self) -> int:
+        """Merged length P of the component dimension (1 when M_C is empty)."""
+        return math.prod(self.shape[m] for m in self.component_modes)
+
+    @property
+    def out_shape(self) -> tuple[int, ...]:
+        """Shape of the output tensor Y."""
+        return self.shape[: self.mode] + (self.j,) + self.shape[self.mode + 1 :]
+
+    @property
+    def loop_extents(self) -> tuple[int, ...]:
+        """Iteration counts of the collapsed loop nest, in loop order."""
+        return tuple(self.shape[m] for m in self.loop_modes)
+
+    @property
+    def loop_iterations(self) -> int:
+        return math.prod(self.loop_extents) if self.loop_extents else 1
+
+    @property
+    def kernel_shape(self) -> tuple[int, int, int]:
+        """(m, k, n) of the inner GEMM as dispatched.
+
+        Forward: ``Y_sub (J x P) = U (J x I_n) @ X_sub (I_n x P)``.
+        Backward: ``Y_sub (P x J) = X_sub (P x I_n) @ U^T (I_n x J)``.
+        """
+        p = self.component_extent
+        if self.strategy is Strategy.FORWARD:
+            return (self.j, self.i_n, p)
+        return (p, self.i_n, self.j)
+
+    @property
+    def views_blas_legal(self) -> bool:
+        """True when the plan's sub-tensor views fit the BLAS interface.
+
+        The inner views have unit stride in one dimension exactly when
+        the component run includes the storage's leading mode (natural
+        strategies) or when the contracted mode itself is the leading
+        mode (the cross-strategy fallback).  Otherwise both strides are
+        non-unit and the blocked (BLIS-role) kernel is required — the
+        figure-7 "BLIS or MKL" dispatch decision, decidable from geometry
+        alone.
+        """
+        order = self.order
+        leading = order - 1 if self.layout is Layout.ROW_MAJOR else 0
+        if self.mode == leading:
+            return True
+        if self.degree == 0:
+            # Fiber kernels are single-column matrices: vacuously legal.
+            return True
+        return leading in self.component_modes
+
+    @property
+    def kernel_working_set_bytes(self) -> int:
+        """Bytes of the three inner-GEMM operands (the threshold unit)."""
+        m, k, n = self.kernel_shape
+        return 8 * (m * k + k * n + m * n)
+
+    @property
+    def kernel_flops(self) -> int:
+        m, k, n = self.kernel_shape
+        return 2 * m * k * n
+
+    @property
+    def total_flops(self) -> int:
+        return self.kernel_flops * self.loop_iterations
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by benchmarks/examples)."""
+        dims = "x".join(str(s) for s in self.shape)
+        comp = ",".join(str(m) for m in self.component_modes) or "-"
+        loops = ",".join(str(m) for m in self.loop_modes) or "-"
+        return (
+            f"TtmPlan[{dims} mode={self.mode} J={self.j} "
+            f"{self.layout.name}/{self.strategy.value} "
+            f"M_C=({comp}) M_L=({loops}) P_L={self.loop_threads} "
+            f"P_C={self.kernel_threads} kernel={self.kernel}]"
+        )
+
+    def cache_key(self) -> tuple:
+        """Key identifying the *input* this plan was built for."""
+        return (self.shape, self.mode, self.j, self.layout)

@@ -1,0 +1,75 @@
+"""Plan (de)serialization: persisting offline-autotuning decisions.
+
+The paper's framework is an *offline* autotuner: the GEMM benchmark and
+the derived configuration are computed once per machine and reused.
+:class:`~repro.gemm.bench.GemmProfile` already serializes; this module
+adds JSON round-tripping for plans and for whole plan caches, so a
+deployment can pin its tuned configurations in version control and skip
+estimation at run time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.core.plan import Strategy, TtmPlan
+from repro.tensor.layout import Layout
+from repro.util.errors import PlanError
+
+
+def plan_to_dict(plan: TtmPlan) -> dict:
+    """A JSON-safe dict capturing every plan field."""
+    return {
+        "shape": list(plan.shape),
+        "mode": plan.mode,
+        "j": plan.j,
+        "layout": plan.layout.name,
+        "strategy": plan.strategy.value,
+        "component_modes": list(plan.component_modes),
+        "loop_modes": list(plan.loop_modes),
+        "loop_threads": plan.loop_threads,
+        "kernel_threads": plan.kernel_threads,
+        "kernel": plan.kernel,
+    }
+
+
+def plan_from_dict(payload: dict) -> TtmPlan:
+    """Reconstruct (and fully re-validate) a plan from its dict form."""
+    try:
+        return TtmPlan(
+            shape=tuple(int(s) for s in payload["shape"]),
+            mode=int(payload["mode"]),
+            j=int(payload["j"]),
+            layout=Layout[payload["layout"]],
+            strategy=Strategy(payload["strategy"]),
+            component_modes=tuple(int(m) for m in payload["component_modes"]),
+            loop_modes=tuple(int(m) for m in payload["loop_modes"]),
+            loop_threads=int(payload["loop_threads"]),
+            kernel_threads=int(payload["kernel_threads"]),
+            kernel=str(payload["kernel"]),
+        )
+    except KeyError as exc:
+        raise PlanError(f"plan payload missing field {exc}") from exc
+
+
+def plans_to_json(plans: Iterable[TtmPlan]) -> str:
+    """Serialize a collection of plans (e.g. an InTensLi cache)."""
+    return json.dumps([plan_to_dict(p) for p in plans], indent=2)
+
+
+def plans_from_json(text: str) -> list[TtmPlan]:
+    payload = json.loads(text)
+    if not isinstance(payload, list):
+        raise PlanError("plan cache JSON must be a list of plan objects")
+    return [plan_from_dict(p) for p in payload]
+
+
+def save_plans(plans: Iterable[TtmPlan], path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(plans_to_json(plans))
+
+
+def load_plans(path: str) -> list[TtmPlan]:
+    with open(path) as fh:
+        return plans_from_json(fh.read())

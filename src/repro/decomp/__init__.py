@@ -1,0 +1,55 @@
+"""Tensor decompositions built on the TTM primitive.
+
+The paper motivates fast TTM through the Tucker decomposition, whose
+HOOI iteration performs a chain of mode-n products per mode per sweep
+(§2).  Both algorithms here are parameterized over the TTM backend so
+the end-to-end benefit of the in-place implementation can be measured
+(``benchmarks/bench_tucker_e2e.py``), and the tensor-train decomposition
+covers the paper's named future-work direction.
+"""
+
+from repro.decomp.tucker import (
+    TuckerResult,
+    hooi,
+    hosvd,
+    tucker_reconstruct,
+)
+from repro.decomp.tensor_train import (
+    TensorTrain,
+    tt_reconstruct,
+    tt_svd,
+)
+from repro.decomp.cp import (
+    CpResult,
+    cp_als,
+    cp_reconstruct,
+    khatri_rao,
+    mttkrp,
+    mttkrp_inplace,
+)
+from repro.decomp.htucker import (
+    HTucker,
+    ht_error,
+    ht_reconstruct,
+    ht_svd,
+)
+
+__all__ = [
+    "TuckerResult",
+    "hooi",
+    "hosvd",
+    "tucker_reconstruct",
+    "TensorTrain",
+    "tt_reconstruct",
+    "tt_svd",
+    "CpResult",
+    "cp_als",
+    "cp_reconstruct",
+    "khatri_rao",
+    "mttkrp",
+    "mttkrp_inplace",
+    "HTucker",
+    "ht_error",
+    "ht_reconstruct",
+    "ht_svd",
+]

@@ -1,0 +1,189 @@
+"""Hierarchical Tucker decomposition (the paper's [12], named in §5/§7).
+
+The HT format organizes the modes of an order-N tensor into a binary
+*dimension tree*: each leaf holds a frame ``U_m (I_m x k_m)``, each
+interior node a transfer tensor ``B_t (k_left x k_right x k_t)``, and
+the root a matrix ``B_root (k_left x k_right)``.  Storage is linear in N
+(vs Tucker's ``k^N`` core), which is why the paper recommends it for
+high-dimensional tensors.
+
+We build the standard *root-to-leaves* HT-SVD over the balanced
+contiguous dimension tree: the frame of a node spanning contiguous modes
+``S`` is the top-``k`` left singular basis of the matricization
+``X_(S)`` — contiguity is exactly the condition (Lemma 4.1) under which
+that matricization is a logical reshape of the tensor, the same
+structural fact the in-place TTM exploits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.util.errors import ShapeError
+
+
+@dataclass
+class HTNode:
+    """A dimension-tree node spanning contiguous modes [lo, hi)."""
+
+    lo: int
+    hi: int
+    rank: int
+    leaf_frame: np.ndarray | None = None  # (I_m x k) at leaves
+    transfer: np.ndarray | None = None    # (k_l x k_r x k) or (k_l x k_r) at root
+    left: "HTNode | None" = None
+    right: "HTNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    @property
+    def modes(self) -> tuple[int, ...]:
+        return tuple(range(self.lo, self.hi))
+
+
+@dataclass
+class HTucker:
+    """A complete hierarchical Tucker decomposition."""
+
+    root: HTNode
+    shape: tuple[int, ...]
+
+    @property
+    def n_parameters(self) -> int:
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                total += node.leaf_frame.size
+            else:
+                total += node.transfer.size
+                stack.extend([node.left, node.right])
+        return total
+
+    @property
+    def compression(self) -> float:
+        return math.prod(self.shape) / self.n_parameters
+
+    def ranks(self) -> dict[tuple[int, ...], int]:
+        """Node span -> rank, for every node in the tree."""
+        out: dict[tuple[int, ...], int] = {}
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            out[node.modes] = node.rank
+            if not node.is_leaf:
+                stack.extend([node.left, node.right])
+        return out
+
+
+def _matricization_basis(
+    data: np.ndarray, lo: int, hi: int, max_rank: int
+) -> np.ndarray:
+    """Top-``max_rank`` left singular vectors of X_([lo, hi))."""
+    rows = math.prod(data.shape[lo:hi])
+    mat = np.moveaxis(
+        data, range(lo, hi), range(0, hi - lo)
+    ).reshape(rows, -1)
+    if rows <= mat.shape[1]:
+        u, s, _vt = np.linalg.svd(mat, full_matrices=False)
+    else:
+        # Gram trick for tall matricizations.
+        gram = mat @ mat.T
+        eigvals, eigvecs = np.linalg.eigh(gram)
+        order = np.argsort(eigvals)[::-1]
+        u = eigvecs[:, order]
+        s = np.sqrt(np.maximum(eigvals[order], 0.0))
+    keep = min(max_rank, u.shape[1], int(np.sum(s > 1e-13 * (s[0] if len(s) else 1.0))) or 1)
+    return np.ascontiguousarray(u[:, :keep])
+
+
+def _build(
+    data: np.ndarray,
+    lo: int,
+    hi: int,
+    max_rank: int,
+    is_root: bool,
+) -> HTNode:
+    if hi - lo == 1:
+        frame = _matricization_basis(data, lo, hi, max_rank)
+        return HTNode(lo=lo, hi=hi, rank=frame.shape[1], leaf_frame=frame)
+    mid = (lo + hi) // 2
+    left = _build(data, lo, mid, max_rank, is_root=False)
+    right = _build(data, mid, hi, max_rank, is_root=False)
+    u_left = _subtree_basis(data, left)
+    u_right = _subtree_basis(data, right)
+    if is_root:
+        rows = math.prod(data.shape[lo:hi])
+        vec = np.moveaxis(
+            data, range(lo, hi), range(0, hi - lo)
+        ).reshape(rows)
+        cube = vec.reshape(u_left.shape[0], u_right.shape[0])
+        transfer = u_left.T @ cube @ u_right  # (k_l x k_r)
+        return HTNode(lo=lo, hi=hi, rank=1, transfer=transfer,
+                      left=left, right=right)
+    basis = _matricization_basis(data, lo, hi, max_rank)
+    cube = basis.reshape(u_left.shape[0], u_right.shape[0], basis.shape[1])
+    transfer = np.einsum("ia,jb,ijc->abc", u_left, u_right, cube,
+                         optimize=True)
+    return HTNode(lo=lo, hi=hi, rank=basis.shape[1], transfer=transfer,
+                  left=left, right=right)
+
+
+def _subtree_basis(data: np.ndarray, node: HTNode) -> np.ndarray:
+    """The explicit (prod I_S x k) basis a subtree represents."""
+    if node.is_leaf:
+        return node.leaf_frame
+    u_left = _subtree_basis(data, node.left)
+    u_right = _subtree_basis(data, node.right)
+    combined = np.einsum(
+        "ia,jb,abc->ijc", u_left, u_right, node.transfer, optimize=True
+    )
+    return combined.reshape(-1, node.rank)
+
+
+def ht_svd(x: DenseTensor, max_rank: int) -> HTucker:
+    """Hierarchical Tucker decomposition with all node ranks <= max_rank."""
+    if not isinstance(x, DenseTensor):
+        raise TypeError(f"x must be a DenseTensor, got {type(x).__name__}")
+    if max_rank < 1:
+        raise ShapeError(f"max_rank must be >= 1, got {max_rank}")
+    if x.order < 2:
+        raise ShapeError("hierarchical Tucker needs an order >= 2 tensor")
+    root = _build(np.asarray(x.data), 0, x.order, max_rank, is_root=True)
+    return HTucker(root=root, shape=x.shape)
+
+
+def _node_basis(node: HTNode) -> np.ndarray:
+    if node.is_leaf:
+        return node.leaf_frame
+    u_left = _node_basis(node.left)
+    u_right = _node_basis(node.right)
+    combined = np.einsum(
+        "ia,jb,abc->ijc", u_left, u_right, node.transfer, optimize=True
+    )
+    return combined.reshape(-1, node.rank)
+
+
+def ht_reconstruct(ht: HTucker) -> DenseTensor:
+    """Expand a hierarchical Tucker decomposition to the full tensor."""
+    root = ht.root
+    u_left = _node_basis(root.left)
+    u_right = _node_basis(root.right)
+    mat = u_left @ root.transfer @ u_right.T
+    full = mat.reshape(ht.shape)
+    return DenseTensor(full)
+
+
+def ht_error(x: DenseTensor, ht: HTucker) -> float:
+    """Relative Frobenius reconstruction error."""
+    x_norm = float(np.linalg.norm(x.data))
+    if x_norm == 0.0:
+        return 0.0
+    diff = x.data - ht_reconstruct(ht).data
+    return float(np.linalg.norm(diff)) / x_norm

@@ -1,0 +1,122 @@
+"""Tensor-train decomposition (TT-SVD) — the paper's future-work case.
+
+The TT format factors an order-N tensor into a chain of order-3 cores
+``G_k`` of shape ``(r_{k-1}, I_k, r_k)`` with ``r_0 = r_N = 1``
+(Oseledets [30]).  TT-SVD builds the chain by sequential truncated SVDs
+of reshaped remainders; like Tucker, the heavy lifting is dense linear
+algebra over logically reshaped views, the same substrate this library
+provides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.util.errors import ShapeError
+
+
+@dataclass
+class TensorTrain:
+    """A TT decomposition: cores ``G_k`` with linking ranks."""
+
+    cores: list[np.ndarray]
+    shape: tuple[int, ...]
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        """The N+1 linking ranks (r_0 = r_N = 1)."""
+        return tuple([1] + [c.shape[2] for c in self.cores])
+
+    @property
+    def n_parameters(self) -> int:
+        return sum(c.size for c in self.cores)
+
+    @property
+    def compression(self) -> float:
+        """Full elements over TT parameters."""
+        return math.prod(self.shape) / self.n_parameters
+
+
+def tt_svd(
+    x: DenseTensor,
+    max_rank: int | Sequence[int] = 2**62,
+    tolerance: float = 0.0,
+) -> TensorTrain:
+    """TT-SVD with rank caps and/or a relative Frobenius error budget.
+
+    *tolerance* is split evenly across the N-1 truncations (the standard
+    ``eps / sqrt(N-1)`` rule), guaranteeing
+    ``||X - TT|| <= tolerance * ||X||``.
+    """
+    if not isinstance(x, DenseTensor):
+        raise TypeError(f"x must be a DenseTensor, got {type(x).__name__}")
+    if tolerance < 0.0:
+        raise ShapeError(f"tolerance must be >= 0, got {tolerance}")
+    shape = x.shape
+    order = len(shape)
+    if isinstance(max_rank, int):
+        caps = [max_rank] * (order - 1)
+    else:
+        caps = [int(r) for r in max_rank]
+        if len(caps) != order - 1:
+            raise ShapeError(
+                f"max_rank needs {order - 1} entries for order {order}, "
+                f"got {len(caps)}"
+            )
+    if any(c < 1 for c in caps):
+        raise ShapeError(f"ranks must be >= 1, got {caps}")
+
+    x_norm = float(np.linalg.norm(x.data))
+    per_step = (
+        tolerance * x_norm / math.sqrt(max(1, order - 1))
+        if tolerance > 0.0
+        else 0.0
+    )
+
+    cores: list[np.ndarray] = []
+    remainder = np.ascontiguousarray(x.data, dtype=np.float64)
+    rank = 1
+    for k in range(order - 1):
+        rows = rank * shape[k]
+        mat = remainder.reshape(rows, -1)
+        u, s, vt = np.linalg.svd(mat, full_matrices=False)
+        keep = min(caps[k], len(s))
+        if per_step > 0.0:
+            # Smallest rank whose discarded tail stays within the budget:
+            # tail[r] = sum(s[r:]**2); keep the first r with tail <= eps^2.
+            tail = np.concatenate(
+                [np.cumsum((s**2)[::-1])[::-1], [0.0]]
+            )
+            within = int(np.argmax(tail <= per_step**2))
+            keep = min(keep, max(1, within))
+        keep = max(1, min(keep, len(s)))
+        cores.append(u[:, :keep].reshape(rank, shape[k], keep).copy())
+        remainder = (s[:keep, None] * vt[:keep]).copy()
+        rank = keep
+    cores.append(remainder.reshape(rank, shape[-1], 1).copy())
+    return TensorTrain(cores=cores, shape=shape)
+
+
+def tt_reconstruct(tt: TensorTrain) -> DenseTensor:
+    """Contract a tensor train back into a full dense tensor."""
+    result = tt.cores[0]  # (1, I_0, r_1)
+    for core in tt.cores[1:]:
+        left = result.reshape(-1, result.shape[-1])
+        right = core.reshape(core.shape[0], -1)
+        result = (left @ right).reshape(1, -1, core.shape[2])
+    full = result.reshape(tt.shape)
+    return DenseTensor(full)
+
+
+def tt_error(x: DenseTensor, tt: TensorTrain) -> float:
+    """Relative Frobenius reconstruction error."""
+    x_norm = float(np.linalg.norm(x.data))
+    if x_norm == 0.0:
+        return 0.0
+    diff = x.data - tt_reconstruct(tt).data
+    return float(np.linalg.norm(diff)) / x_norm

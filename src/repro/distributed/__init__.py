@@ -1,0 +1,29 @@
+"""Simulated distributed-memory TTM (the paper's conclusion, §7).
+
+The paper positions its single-node InTTM as a "drop-in replacement for
+the intra-node compute component of distributed memory implementations".
+This subpackage demonstrates exactly that without MPI hardware: a
+block-distributed mode-n product is executed rank by rank — every local
+compute step running through the in-place TTM — while the communication
+a real cluster would perform (factor-matrix panel scatter, partial-result
+all-reduce) is carried out by explicit buffer movement and *accounted*
+in words, so distribution strategies can be compared quantitatively.
+"""
+
+from repro.distributed.grid import ProcessGrid, block_ranges, enumerate_grids
+from repro.distributed.ttm import (
+    CommReport,
+    best_grid,
+    communication_words,
+    distributed_ttm,
+)
+
+__all__ = [
+    "ProcessGrid",
+    "block_ranges",
+    "enumerate_grids",
+    "CommReport",
+    "best_grid",
+    "communication_words",
+    "distributed_ttm",
+]

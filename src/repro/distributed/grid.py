@@ -1,0 +1,101 @@
+"""Process grids and block partitions for the distributed simulation."""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.util.errors import ShapeError
+from repro.util.validation import check_positive_int
+
+
+def block_ranges(extent: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(extent)`` into *parts* contiguous near-equal blocks.
+
+    The first ``extent % parts`` blocks get the extra element — the
+    standard balanced block distribution.  Requires ``parts <= extent``
+    so no rank is empty.
+    """
+    check_positive_int(extent, "extent")
+    check_positive_int(parts, "parts")
+    if parts > extent:
+        raise ShapeError(
+            f"cannot split extent {extent} into {parts} non-empty blocks"
+        )
+    base, extra = divmod(extent, parts)
+    ranges = []
+    start = 0
+    for p in range(parts):
+        stop = start + base + (1 if p < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A cartesian process grid aligned with tensor modes."""
+
+    dims: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims or any(d < 1 for d in self.dims):
+            raise ShapeError(f"invalid grid dims {self.dims}")
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.dims)
+
+    @property
+    def order(self) -> int:
+        return len(self.dims)
+
+    def ranks(self) -> Iterator[tuple[int, ...]]:
+        """All grid coordinates in odometer order."""
+        return itertools.product(*(range(d) for d in self.dims))
+
+    def local_slices(
+        self, shape: Sequence[int], coord: Sequence[int]
+    ) -> tuple[slice, ...]:
+        """The block of the tensor owned by grid coordinate *coord*."""
+        if len(shape) != self.order or len(coord) != self.order:
+            raise ShapeError(
+                f"grid order {self.order} does not match shape/coord"
+            )
+        out = []
+        for extent, parts, c in zip(shape, self.dims, coord):
+            lo, hi = block_ranges(int(extent), parts)[c]
+            out.append(slice(lo, hi))
+        return tuple(out)
+
+    def validate_for(self, shape: Sequence[int]) -> None:
+        if len(shape) != self.order:
+            raise ShapeError(
+                f"grid {self.dims} does not match order-{len(shape)} tensor"
+            )
+        for extent, parts in zip(shape, self.dims):
+            if parts > extent:
+                raise ShapeError(
+                    f"grid dimension {parts} exceeds tensor extent {extent}"
+                )
+
+
+def enumerate_grids(order: int, nproc: int) -> list[ProcessGrid]:
+    """All ways to factor *nproc* over *order* grid dimensions."""
+    check_positive_int(order, "order")
+    check_positive_int(nproc, "nproc")
+
+    grids: set[tuple[int, ...]] = set()
+
+    def recurse(remaining: int, dims: list[int]) -> None:
+        if len(dims) == order - 1:
+            grids.add(tuple(dims + [remaining]))
+            return
+        for d in range(1, remaining + 1):
+            if remaining % d == 0:
+                recurse(remaining // d, dims + [d])
+
+    recurse(nproc, [])
+    return [ProcessGrid(g) for g in sorted(grids)]

@@ -1,0 +1,166 @@
+"""Block-distributed mode-n product, simulated rank by rank.
+
+Algorithm (the standard 1.5D TTM):
+
+1. **Scatter U**: each rank needs only the panel of U's columns matching
+   its local slab of mode *n* (``J x I_n^{local}`` words per rank).
+2. **Local compute**: every rank runs the in-place TTM on its block with
+   its panel — this is the paper's intra-node "drop-in" component.
+3. **All-reduce**: ranks sharing the same non-*n* coordinates hold
+   partial sums of the same output block; a ring all-reduce combines
+   them (``2 (P_n - 1)/P_n x block`` words per rank).
+
+The simulation executes those steps with real buffers (so the result is
+bit-checked against the single-node product) and returns a
+:class:`CommReport` of the words each step moved, enabling the grid
+comparison in ``benchmarks/bench_distributed_ttm.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.inttm import ttm_inplace
+from repro.distributed.grid import ProcessGrid, block_ranges
+from repro.tensor.dense import DenseTensor
+from repro.util.errors import ShapeError
+from repro.util.validation import check_mode
+
+
+@dataclass
+class CommReport:
+    """Words moved and work done by one distributed TTM."""
+
+    grid: tuple[int, ...]
+    scatter_u_words: int = 0
+    allreduce_words: int = 0
+    local_flops: list = field(default_factory=list)
+
+    @property
+    def total_comm_words(self) -> int:
+        return self.scatter_u_words + self.allreduce_words
+
+    @property
+    def max_local_flops(self) -> int:
+        return max(self.local_flops) if self.local_flops else 0
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean local flops (1.0 = perfectly balanced)."""
+        if not self.local_flops:
+            return 1.0
+        mean = sum(self.local_flops) / len(self.local_flops)
+        return self.max_local_flops / mean if mean else 1.0
+
+
+def communication_words(
+    shape: Sequence[int], j: int, mode: int, grid: ProcessGrid
+) -> int:
+    """Closed-form communication model for a grid choice.
+
+    Scatter: every rank receives its U panel (total = P_other * J * I_n,
+    since each of the ``P_n`` panels goes to ``P / P_n`` ranks).
+    All-reduce: ring cost ``2 (P_n - 1)/P_n * |block|`` words per rank,
+    zero when the contracted mode is not partitioned.
+    """
+    shape_t = tuple(int(s) for s in shape)
+    mode = check_mode(mode, len(shape_t))
+    grid.validate_for(shape_t)
+    p_n = grid.dims[mode]
+    p_total = grid.size
+    scatter = (p_total // p_n) * j * shape_t[mode]
+    out_block = j * math.prod(
+        math.ceil(s / g)
+        for m, (s, g) in enumerate(zip(shape_t, grid.dims))
+        if m != mode
+    )
+    if p_n > 1:
+        allreduce = p_total * 2 * (p_n - 1) * out_block // p_n
+    else:
+        allreduce = 0
+    return scatter + allreduce
+
+
+def best_grid(
+    shape: Sequence[int], j: int, mode: int, nproc: int
+) -> ProcessGrid:
+    """The feasible grid minimizing modelled communication words."""
+    from repro.distributed.grid import enumerate_grids
+
+    shape_t = tuple(int(s) for s in shape)
+    candidates = []
+    for grid in enumerate_grids(len(shape_t), nproc):
+        try:
+            grid.validate_for(shape_t)
+        except ShapeError:
+            continue
+        candidates.append((communication_words(shape_t, j, mode, grid), grid))
+    if not candidates:
+        raise ShapeError(
+            f"no feasible grid of {nproc} ranks for shape {shape_t}"
+        )
+    candidates.sort(key=lambda c: (c[0], c[1].dims))
+    return candidates[0][1]
+
+
+def distributed_ttm(
+    x: DenseTensor,
+    u: np.ndarray,
+    mode: int,
+    grid: ProcessGrid,
+    local_backend: Callable[[DenseTensor, np.ndarray, int], DenseTensor]
+    | None = None,
+) -> tuple[DenseTensor, CommReport]:
+    """Execute ``Y = X x_mode U`` block-distributed over *grid*.
+
+    Returns the assembled output tensor and the communication report.
+    The result is numerically identical to the single-node product.
+    """
+    if not isinstance(x, DenseTensor):
+        raise TypeError(f"x must be a DenseTensor, got {type(x).__name__}")
+    u = np.asarray(u, dtype=np.float64)
+    mode = check_mode(mode, x.order)
+    if u.ndim != 2 or u.shape[1] != x.shape[mode]:
+        raise ShapeError(
+            f"U shape {u.shape} does not match (J, I_n={x.shape[mode]})"
+        )
+    grid.validate_for(x.shape)
+    backend = local_backend or ttm_inplace
+    j = u.shape[0]
+    out_shape = x.shape[:mode] + (j,) + x.shape[mode + 1 :]
+    y = DenseTensor.zeros(out_shape, x.layout)
+    report = CommReport(grid=grid.dims)
+    mode_ranges = block_ranges(x.shape[mode], grid.dims[mode])
+
+    # Partial output blocks keyed by the non-mode grid coordinates; the
+    # accumulation below *is* the all-reduce (performed centrally here).
+    partial: dict[tuple[int, ...], np.ndarray] = {}
+    for coord in grid.ranks():
+        slices = grid.local_slices(x.shape, coord)
+        local = DenseTensor(np.ascontiguousarray(x.data[slices]), x.layout)
+        lo, hi = mode_ranges[coord[mode]]
+        u_panel = np.ascontiguousarray(u[:, lo:hi])
+        report.scatter_u_words += u_panel.size
+        y_local = backend(local, u_panel, mode)
+        report.local_flops.append(2 * j * local.size)
+        key = coord[:mode] + coord[mode + 1 :]
+        if key in partial:
+            partial[key] += y_local.data
+        else:
+            partial[key] = y_local.data.copy()
+
+    p_n = grid.dims[mode]
+    for key, block in partial.items():
+        if p_n > 1:
+            # Ring all-reduce volume per participating rank.
+            report.allreduce_words += p_n * 2 * (p_n - 1) * block.size // p_n
+        # Place the reduced block into the global output.
+        coord_full = key[:mode] + (0,) + key[mode:]
+        slices = list(grid.local_slices(x.shape, coord_full))
+        slices[mode] = slice(0, j)
+        y.data[tuple(slices)] = block
+    return y, report

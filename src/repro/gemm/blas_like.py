@@ -1,0 +1,62 @@
+"""The "MKL role": BLAS-backed GEMM restricted to BLAS-legal operands.
+
+NumPy's ``matmul`` reaches an optimized BLAS for unit-stride operands,
+which is the interface contract of the classical BLAS (§1, [1]): exactly
+one dimension of each matrix may be strided (the leading dimension).  To
+keep the reproduction honest, this kernel *refuses* general-stride
+operands instead of silently copying them, mirroring how a real MKL call
+site would have to materialize a contiguous operand first.  The dispatch
+layer routes such operands to the blocked (BLIS-role) kernel instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gemm.interface import blas_legal
+from repro.util.errors import ShapeError, StrideError
+
+
+def _check_legal(name: str, array: np.ndarray) -> None:
+    if array.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got {array.ndim}-D")
+    if not blas_legal(array):
+        raise StrideError(
+            f"{name} with strides {array.strides} (shape {array.shape}) is "
+            "not expressible in the BLAS interface; use the 'blocked' "
+            "kernel for general strides"
+        )
+
+
+def gemm_blas(
+    a: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray | None = None,
+    accumulate: bool = False,
+) -> np.ndarray:
+    """``out = a @ b`` via the platform BLAS; operands must be BLAS-legal.
+
+    When *out* is given it is written through in place (no reallocation of
+    the destination), which the in-place TTM depends on.
+    """
+    _check_legal("a", a)
+    _check_legal("b", b)
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    if out is None:
+        if accumulate:
+            raise ShapeError("accumulate=True requires an out array")
+        return np.matmul(a, b)
+    _check_legal("out", out)
+    if out.shape != (m, n):
+        raise ShapeError(f"out shape {out.shape} != {(m, n)}")
+    if accumulate:
+        # BLAS beta=1: NumPy has no fused AXPY-GEMM, so accumulate via a
+        # product temporary of the *kernel* size (bounded by the block the
+        # caller chose, never the whole tensor).
+        out += a @ b
+        return out
+    np.matmul(a, b, out=out)
+    return out

@@ -1,0 +1,111 @@
+"""The "BLIS role": a Goto-style blocked GEMM with explicit packing.
+
+Supports **arbitrary strides** on all three operands — including the
+general-stride (both dimensions non-unit) matrices that arise when the
+backward strategy slices a row-major tensor — the case classical BLAS
+cannot express (§4.1).
+
+Structure follows Goto & van de Geijn [11] / BLIS [43]:
+
+* loop 5 partitions columns of B/C into ``NC`` panels,
+* loop 4 partitions the K dimension into ``KC`` slabs and **packs** the
+  ``KC x NC`` panel of B into a contiguous buffer,
+* loop 3 partitions rows of A/C into ``MC`` blocks and **packs** the
+  ``MC x KC`` block of A,
+* the macrokernel multiplies the two packed (hence unit-stride) buffers.
+
+Packing copies only cache-block-sized panels — the point of the paper's
+distinction: strided kernels pay a *bounded, streaming* packing cost,
+whereas matricization copies the whole tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class BlockSizes:
+    """Panel blocking parameters (elements, not bytes).
+
+    Defaults target a ~1 MiB working set for the packed panels, in line
+    with L2-resident A blocks and L3-resident B panels in the Goto
+    analysis; tune via :func:`repro.gemm.bench.measure_profile` if needed.
+    """
+
+    mc: int = 128
+    kc: int = 256
+    nc: int = 512
+
+    def __post_init__(self) -> None:
+        for name in ("mc", "kc", "nc"):
+            if getattr(self, name) < 1:
+                raise ShapeError(f"block size {name} must be >= 1")
+
+    @property
+    def packed_bytes(self) -> int:
+        """Bytes of packing buffers at these block sizes (A block + B panel)."""
+        return 8 * (self.mc * self.kc + self.kc * self.nc)
+
+
+DEFAULT_BLOCKS = BlockSizes()
+
+
+def gemm_blocked(
+    a: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray | None = None,
+    accumulate: bool = False,
+    block_sizes: BlockSizes | None = None,
+) -> np.ndarray:
+    """``out = a @ b`` (or ``+=``) for operands of arbitrary strides.
+
+    Returns *out* (allocated C-contiguous when None).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ShapeError(f"gemm operands must be 2-D, got {a.ndim}-D and {b.ndim}-D")
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    if out is None:
+        out = np.empty((m, n), dtype=np.float64)
+        accumulate = False
+    elif out.shape != (m, n):
+        raise ShapeError(f"out shape {out.shape} != {(m, n)}")
+    blocks = block_sizes or DEFAULT_BLOCKS
+    mc, kc, nc = blocks.mc, blocks.kc, blocks.nc
+
+    # Pre-allocated packing buffers, reused across all panels.
+    pack_a = np.empty((min(mc, m), min(kc, k)), dtype=np.float64)
+    pack_b = np.empty((min(kc, k), min(nc, n)), dtype=np.float64)
+
+    if k == 0:
+        if not accumulate:
+            out[...] = 0.0
+        return out
+
+    for jc in range(0, n, nc):
+        j_hi = min(jc + nc, n)
+        for pc in range(0, k, kc):
+            p_hi = min(pc + kc, k)
+            bp = pack_b[: p_hi - pc, : j_hi - jc]
+            np.copyto(bp, b[pc:p_hi, jc:j_hi])
+            first_slab = pc == 0
+            for ic in range(0, m, mc):
+                i_hi = min(ic + mc, m)
+                ap = pack_a[: i_hi - ic, : p_hi - pc]
+                np.copyto(ap, a[ic:i_hi, pc:p_hi])
+                c_block = out[ic:i_hi, jc:j_hi]
+                # Macrokernel: contiguous packed buffers hit the fast path.
+                if first_slab and not accumulate:
+                    c_block[...] = ap @ bp
+                else:
+                    c_block += ap @ bp
+    return out

@@ -1,0 +1,114 @@
+"""GEMM dispatch and stride legality predicates.
+
+This module owns the kernel registry and the ``auto`` routing rule the
+in-place TTM relies on: BLAS-legal operands go to the fast unit-stride
+kernel (the MKL role), anything else to the general-stride blocked kernel
+(the BLIS role) — mirroring the paper's forward/backward strategy
+consequences (§4.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.util.errors import ShapeError, StrideError
+
+
+def unit_stride_dims(array: np.ndarray) -> tuple[bool, bool]:
+    """(rows_unit, cols_unit): which dimensions of a 2-D array have unit stride.
+
+    A dimension of extent <= 1 is vacuously unit stride (BLAS accepts any
+    ld for it).
+    """
+    if array.ndim != 2:
+        raise ShapeError(f"expected a 2-D array, got {array.ndim}-D")
+    itemsize = array.itemsize
+    rows_unit = array.shape[0] <= 1 or array.strides[0] == itemsize
+    cols_unit = array.shape[1] <= 1 or array.strides[1] == itemsize
+    return rows_unit, cols_unit
+
+
+def blas_legal(array: np.ndarray) -> bool:
+    """True if a 2-D operand is expressible in the BLAS interface.
+
+    BLAS matrices have unit stride in one dimension and a non-negative
+    leading dimension in the other; general-stride operands (both strides
+    non-unit) are *not* expressible — the limitation motivating BLIS and
+    this paper's strategy choice.
+    """
+    if array.ndim != 2:
+        return False
+    if any(s < 0 for s in array.strides):
+        return False
+    return any(unit_stride_dims(array))
+
+
+def _gemm_auto(a, b, out=None, accumulate=False):
+    from repro.gemm.blas_like import gemm_blas
+    from repro.gemm.blocked import gemm_blocked
+
+    if blas_legal(a) and blas_legal(b) and (out is None or blas_legal(out)):
+        return gemm_blas(a, b, out=out, accumulate=accumulate)
+    return gemm_blocked(a, b, out=out, accumulate=accumulate)
+
+
+def _registry() -> dict[str, Callable]:
+    from repro.gemm.blas_like import gemm_blas
+    from repro.gemm.blocked import gemm_blocked
+    from repro.gemm.reference import gemm_reference
+    from repro.gemm.threaded import gemm_threaded
+
+    return {
+        "auto": _gemm_auto,
+        "blas": gemm_blas,
+        "blocked": gemm_blocked,
+        "reference": gemm_reference,
+        "threaded": gemm_threaded,
+    }
+
+
+KERNELS = "auto", "blas", "blocked", "reference", "threaded"
+
+
+def kernel_names() -> tuple[str, ...]:
+    """Names accepted by :func:`gemm`'s *kernel* argument."""
+    return KERNELS
+
+
+def gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray | None = None,
+    *,
+    accumulate: bool = False,
+    kernel: str = "auto",
+    **kwargs,
+) -> np.ndarray:
+    """Compute ``out = a @ b`` (``out += a @ b`` when *accumulate*).
+
+    Parameters
+    ----------
+    a, b:
+        2-D operands of any strides (kernel-dependent legality applies).
+    out:
+        Optional preallocated destination, written in place.  When given,
+        the result is stored through *out*'s strides — this is what makes
+        the TTM in-place.
+    accumulate:
+        Add into *out* instead of overwriting (GEMM's beta=1).
+    kernel:
+        One of ``auto | blas | blocked | reference | threaded``.
+    kwargs:
+        Kernel-specific options (e.g. ``block_sizes`` for ``blocked``,
+        ``threads`` for ``threaded``).
+    """
+    registry = _registry()
+    try:
+        impl = registry[kernel]
+    except KeyError:
+        raise StrideError(
+            f"unknown gemm kernel {kernel!r}; choose from {KERNELS}"
+        ) from None
+    return impl(a, b, out=out, accumulate=accumulate, **kwargs)

@@ -1,0 +1,48 @@
+"""Naive reference GEMM: the correctness oracle.
+
+Deliberately written as the scalar triple loop so that it is obviously
+equivalent to the mathematical definition.  It is used by tests to validate
+the optimized kernels and by the cache simulator's trace generator as the
+canonical access order.  Do not use it for real work: it is O(MNK) Python
+bytecode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ShapeError
+
+
+def gemm_reference(
+    a: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray | None = None,
+    accumulate: bool = False,
+) -> np.ndarray:
+    """Compute ``out = a @ b`` (or ``out += a @ b``) by the scalar definition.
+
+    Accepts arbitrary strides.  Returns *out* (allocating it when None).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ShapeError(f"gemm operands must be 2-D, got {a.ndim}-D and {b.ndim}-D")
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    if out is None:
+        out = np.zeros((m, n), dtype=np.float64)
+        accumulate = True  # freshly zeroed, accumulation is safe and simple
+    if out.shape != (m, n):
+        raise ShapeError(f"out shape {out.shape} != {(m, n)}")
+    if not accumulate:
+        out[...] = 0.0
+    for i in range(m):
+        for j in range(n):
+            acc = 0.0
+            for p in range(k):
+                acc += a[i, p] * b[p, j]
+            out[i, j] += acc
+    return out

@@ -1,0 +1,5 @@
+"""Coarse-grained loop parallelism (the paper's ``P_L`` threads)."""
+
+from repro.parallel.parfor import parfor, iter_index_space
+
+__all__ = ["parfor", "iter_index_space"]

@@ -1,0 +1,31 @@
+"""Measurement utilities: timers, flop accounting, phase profiling.
+
+Everything the benchmark harness reports funnels through this package so
+that GFLOP/s numbers are computed the same way everywhere.
+"""
+
+from repro.perf.timing import Timer, best_of, time_callable
+from repro.perf.flops import gemm_flops, gflops_rate, ttm_flops
+from repro.perf.profiler import PhaseProfile, PhaseProfiler
+from repro.perf.machine import MachineInfo, machine_info
+from repro.perf.calibrate import (
+    host_platform,
+    measure_bandwidth,
+    measure_peak_gflops,
+)
+
+__all__ = [
+    "host_platform",
+    "measure_bandwidth",
+    "measure_peak_gflops",
+    "Timer",
+    "best_of",
+    "time_callable",
+    "gemm_flops",
+    "gflops_rate",
+    "ttm_flops",
+    "PhaseProfile",
+    "PhaseProfiler",
+    "MachineInfo",
+    "machine_info",
+]

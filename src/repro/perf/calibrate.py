@@ -1,0 +1,81 @@
+"""Host calibration: build a RooflinePlatform for *this* machine.
+
+Table 2's columns (peak GFLOP/s, memory bandwidth, LLC) are inputs to the
+roofline model; for the paper's testbeds they are presets, and for the
+current host this module measures them: a STREAM-triad sweep for
+sustainable bandwidth, a large square GEMM for the compute peak, and
+sysfs for the cache size.  The resulting platform makes the synthetic
+profile and :mod:`repro.core.predict` host-accurate without running the
+full GEMM shape benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.roofline import RooflinePlatform
+from repro.perf.flops import gemm_flops, gflops_rate
+from repro.perf.machine import machine_info
+from repro.perf.timing import time_callable
+from repro.util.validation import check_positive_int
+
+
+def measure_bandwidth(
+    size_words: int = 8_000_000, min_seconds: float = 0.05
+) -> float:
+    """Sustainable memory bandwidth in GB/s via the STREAM triad.
+
+    ``a = b + s * c`` streams three arrays (two reads, one write); the
+    reported figure counts 24 bytes moved per element, STREAM's
+    convention.
+    """
+    check_positive_int(size_words, "size_words")
+    b = np.full(size_words, 1.5)
+    c = np.full(size_words, 2.5)
+    a = np.empty(size_words)
+    scalar = 3.0
+
+    def triad() -> None:
+        np.multiply(c, scalar, out=a)
+        np.add(a, b, out=a)
+
+    seconds = time_callable(triad, min_repeats=3, min_seconds=min_seconds)
+    bytes_moved = 24 * size_words  # read b, read c, write a
+    return bytes_moved / seconds / 1e9
+
+
+def measure_peak_gflops(n: int = 768, min_seconds: float = 0.1) -> float:
+    """Near-peak double-precision rate via a large square GEMM."""
+    check_positive_int(n, "n")
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    out = np.empty((n, n))
+    seconds = time_callable(
+        lambda: np.matmul(a, b, out=out), min_repeats=2,
+        min_seconds=min_seconds,
+    )
+    return gflops_rate(gemm_flops(n, n, n), seconds)
+
+
+def host_platform(
+    gemm_n: int = 768,
+    stream_words: int = 8_000_000,
+) -> RooflinePlatform:
+    """Measure this host and package it as a RooflinePlatform.
+
+    The measured peak is the *single-thread* rate scaled by the physical
+    core count (the model divides it back per-thread), and the spill/ramp
+    constants keep their calibrated defaults.
+    """
+    info = machine_info()
+    single = measure_peak_gflops(n=gemm_n)
+    bandwidth = measure_bandwidth(size_words=stream_words)
+    return RooflinePlatform(
+        name=f"host: {info.cpu_model}",
+        peak_gflops=single * info.physical_cores,
+        bandwidth_gbs=bandwidth,
+        llc_bytes=info.llc_bytes,
+        cores=info.physical_cores,
+        threads_with_smt=info.logical_cpus,
+    )

@@ -1,0 +1,30 @@
+"""Flop accounting for GEMM and TTM, and GFLOP/s rate helpers."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.util.validation import check_positive_int
+
+
+def gemm_flops(m: int, k: int, n: int) -> int:
+    """``2 m k n`` flops for an (m x k) @ (k x n) product."""
+    check_positive_int(m, "m")
+    check_positive_int(k, "k")
+    check_positive_int(n, "n")
+    return 2 * m * k * n
+
+
+def ttm_flops(shape: Sequence[int], j: int) -> int:
+    """``2 J prod(shape)`` flops for a mode-n product (any mode)."""
+    check_positive_int(j, "j")
+    total = math.prod(int(s) for s in shape)
+    return 2 * j * total
+
+
+def gflops_rate(flops: int, seconds: float) -> float:
+    """GFLOP/s given a flop count and elapsed seconds (inf-safe)."""
+    if seconds <= 0.0:
+        return float("inf") if flops > 0 else 0.0
+    return flops / seconds / 1.0e9

@@ -1,0 +1,139 @@
+"""Host machine introspection: the table-2 analogue for this run.
+
+Every benchmark report begins with the machine configuration so that
+paper-vs-measured comparisons carry their context, exactly as the paper
+leads its evaluation with table 2.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import re
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MachineInfo:
+    """A snapshot of the execution platform."""
+
+    cpu_model: str
+    physical_cores: int
+    logical_cpus: int
+    memory_bytes: int
+    llc_bytes: int
+    python_version: str
+    numpy_version: str
+    blas_backend: str
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def table_rows(self) -> list[tuple[str, str]]:
+        """Rows analogous to the paper's table 2."""
+        from repro.util.formatting import format_bytes
+
+        return [
+            ("CPU model", self.cpu_model),
+            ("# of physical cores", str(self.physical_cores)),
+            ("# of logical CPUs", str(self.logical_cpus)),
+            ("Memory size", format_bytes(self.memory_bytes)),
+            ("Last-level cache", format_bytes(self.llc_bytes)),
+            ("Python", self.python_version),
+            ("NumPy", self.numpy_version),
+            ("BLAS backend", self.blas_backend),
+        ]
+
+
+def _cpu_model() -> str:
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def _memory_bytes() -> int:
+    try:
+        with open("/proc/meminfo") as fh:
+            for line in fh:
+                if line.startswith("MemTotal"):
+                    kib = int(re.search(r"(\d+)", line).group(1))
+                    return kib * 1024
+    except (OSError, AttributeError):
+        pass
+    return 0
+
+
+def _llc_bytes() -> int:
+    """Largest cache reported under sysfs, or a 8 MiB default."""
+    best = 0
+    base = "/sys/devices/system/cpu/cpu0/cache"
+    try:
+        for entry in sorted(os.listdir(base)):
+            path = os.path.join(base, entry, "size")
+            try:
+                with open(path) as fh:
+                    text = fh.read().strip()
+            except OSError:
+                continue
+            match = re.match(r"(\d+)([KMG]?)", text)
+            if not match:
+                continue
+            value = int(match.group(1))
+            unit = {"": 1, "K": 1024, "M": 1024**2, "G": 1024**3}[match.group(2)]
+            best = max(best, value * unit)
+    except OSError:
+        pass
+    return best or 8 * 1024**2
+
+
+def _physical_cores() -> int:
+    seen = set()
+    try:
+        with open("/proc/cpuinfo") as fh:
+            physical, core = None, None
+            for line in fh:
+                if line.startswith("physical id"):
+                    physical = line.split(":")[1].strip()
+                elif line.startswith("core id"):
+                    core = line.split(":")[1].strip()
+                elif not line.strip() and physical is not None and core is not None:
+                    seen.add((physical, core))
+                    physical, core = None, None
+            if physical is not None and core is not None:
+                seen.add((physical, core))
+    except OSError:
+        pass
+    return len(seen) or (os.cpu_count() or 1)
+
+
+def _blas_backend() -> str:
+    try:
+        config = np.show_config(mode="dicts")
+        blas = config.get("Build Dependencies", {}).get("blas", {})
+        name = blas.get("name", "")
+        if name:
+            return name
+    except (TypeError, AttributeError):
+        pass
+    return "unknown"
+
+
+def machine_info() -> MachineInfo:
+    """Introspect the current host (cheap; safe to call per benchmark)."""
+    return MachineInfo(
+        cpu_model=_cpu_model(),
+        physical_cores=_physical_cores(),
+        logical_cpus=os.cpu_count() or 1,
+        memory_bytes=_memory_bytes(),
+        llc_bytes=_llc_bytes(),
+        python_version=platform.python_version(),
+        numpy_version=np.__version__,
+        blas_backend=_blas_backend(),
+    )

@@ -1,0 +1,72 @@
+"""Robust wall-clock timing.
+
+Measurement policy (same as the paper's style of reporting best sustained
+rates): run the callable until both a minimum repetition count and a
+minimum total time are reached, then report the *minimum* per-call time —
+the least-noise estimator for compute kernels on a shared machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class Timer:
+    """A context-manager stopwatch accumulating elapsed seconds.
+
+    Re-enterable: each ``with`` block adds to :attr:`elapsed`, and
+    :attr:`laps` records each block separately.
+    """
+
+    elapsed: float = 0.0
+    laps: list = field(default_factory=list)
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._start is not None, "Timer.__exit__ without __enter__"
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self.elapsed += lap
+        self.laps.append(lap)
+
+    def reset(self) -> None:
+        """Zero the accumulated time and laps."""
+        self.elapsed = 0.0
+        self.laps = []
+        self._start = None
+
+
+def time_callable(
+    fn: Callable[[], object],
+    min_repeats: int = 3,
+    min_seconds: float = 0.05,
+    max_repeats: int = 1_000_000,
+) -> float:
+    """Best (minimum) per-call seconds of *fn* under the measurement policy."""
+    if min_repeats < 1:
+        raise ValueError(f"min_repeats must be >= 1, got {min_repeats}")
+    best = float("inf")
+    total = 0.0
+    repeats = 0
+    while (repeats < min_repeats or total < min_seconds) and repeats < max_repeats:
+        start = time.perf_counter()
+        fn()
+        lap = time.perf_counter() - start
+        best = min(best, lap)
+        total += lap
+        repeats += 1
+    return best
+
+
+def best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Minimum per-call seconds over exactly *repeats* calls."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    return min(time_callable(fn, min_repeats=1, min_seconds=0.0) for _ in range(repeats))

@@ -1,0 +1,30 @@
+"""Sparse tensor primitives (the paper's §7 future-work direction).
+
+The paper closes by naming sparse tensors as the next challenge:
+"efficient data structure design and iteration".  This subpackage
+provides the coordinate (COO) format, the sparse-tensor-times-dense-
+matrix product whose output is *semi-sparse* (dense along the product
+mode — the structure Kolda & Sun's METTM is built around), and the
+SPLATT-style sparse MTTKRP, so the CP/Tucker algorithms above can run on
+sparse inputs with the same APIs.
+"""
+
+from repro.sparse.coo import SparseTensor, random_sparse
+from repro.sparse.csf import CsfTensor, csf_mttkrp
+from repro.sparse.semisparse import SemiSparseTensor
+from repro.sparse.ops import mttkrp_sparse, ttm_semisparse, ttm_sparse
+from repro.sparse.tucker import cp_als_sparse, hooi_sparse, hosvd_sparse
+
+__all__ = [
+    "SparseTensor",
+    "random_sparse",
+    "CsfTensor",
+    "csf_mttkrp",
+    "SemiSparseTensor",
+    "mttkrp_sparse",
+    "ttm_semisparse",
+    "ttm_sparse",
+    "cp_als_sparse",
+    "hooi_sparse",
+    "hosvd_sparse",
+]

@@ -1,0 +1,175 @@
+"""Coordinate (COO) sparse tensors.
+
+Storage: an ``nnz x order`` integer index array plus an ``nnz`` value
+vector, kept in canonical (lexicographically sorted, duplicate-free)
+form.  Canonicalization makes equality, slicing, and the grouped
+reductions in :mod:`repro.sparse.ops` straightforward and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.util.errors import ShapeError
+from repro.util.rng import default_rng
+from repro.util.validation import check_probability
+
+
+class SparseTensor:
+    """An order-N sparse tensor in canonical COO form.
+
+    Parameters
+    ----------
+    indices:
+        ``(nnz, order)`` integer coordinates.
+    values:
+        ``(nnz,)`` float values.
+    shape:
+        Tensor extents; every coordinate must be within bounds.
+
+    Duplicated coordinates are summed; explicit zeros are dropped.
+    """
+
+    __slots__ = ("_indices", "_values", "_shape")
+
+    def __init__(
+        self,
+        indices: np.ndarray,
+        values: np.ndarray,
+        shape: Sequence[int],
+    ) -> None:
+        shape_t = tuple(int(s) for s in shape)
+        if any(s < 1 for s in shape_t):
+            raise ShapeError(f"shape must be positive, got {shape_t}")
+        idx = np.asarray(indices, dtype=np.int64)
+        val = np.asarray(values, dtype=np.float64)
+        if idx.ndim != 2 or idx.shape[1] != len(shape_t):
+            raise ShapeError(
+                f"indices must be (nnz, {len(shape_t)}), got {idx.shape}"
+            )
+        if val.ndim != 1 or val.shape[0] != idx.shape[0]:
+            raise ShapeError(
+                f"values must be ({idx.shape[0]},), got {val.shape}"
+            )
+        if idx.size:
+            if idx.min() < 0 or np.any(idx >= np.asarray(shape_t)):
+                raise ShapeError("coordinates out of bounds")
+        idx, val = _canonicalize(idx, val, shape_t)
+        self._indices = idx
+        self._values = val
+        self._shape = shape_t
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_dense(
+        cls, tensor: DenseTensor | np.ndarray, tolerance: float = 0.0
+    ) -> "SparseTensor":
+        """Sparsify a dense tensor, dropping |value| <= tolerance."""
+        arr = np.asarray(
+            tensor.data if isinstance(tensor, DenseTensor) else tensor,
+            dtype=np.float64,
+        )
+        mask = np.abs(arr) > tolerance
+        indices = np.argwhere(mask)
+        return cls(indices, arr[mask], arr.shape)
+
+    @classmethod
+    def empty(cls, shape: Sequence[int]) -> "SparseTensor":
+        order = len(tuple(shape))
+        return cls(np.empty((0, order), dtype=np.int64), np.empty(0), shape)
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Canonical (sorted, unique) coordinates; do not mutate."""
+        return self._indices
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def order(self) -> int:
+        return len(self._shape)
+
+    @property
+    def nnz(self) -> int:
+        return self._values.shape[0]
+
+    @property
+    def density(self) -> float:
+        total = math.prod(self._shape)
+        return self.nnz / total if total else 0.0
+
+    # -- conversions -----------------------------------------------------------
+
+    def to_dense(self) -> DenseTensor:
+        """Materialize as a dense tensor (row-major)."""
+        out = np.zeros(self._shape)
+        if self.nnz:
+            out[tuple(self._indices.T)] = self._values
+        return DenseTensor(out)
+
+    def norm(self) -> float:
+        """Frobenius norm."""
+        return float(np.linalg.norm(self._values))
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(s) for s in self._shape)
+        return (
+            f"SparseTensor(shape={dims}, nnz={self.nnz}, "
+            f"density={self.density:.4f})"
+        )
+
+
+def _canonicalize(indices: np.ndarray, values: np.ndarray, shape):
+    """Sort lexicographically, merge duplicates, drop zeros."""
+    if indices.shape[0] == 0:
+        return indices, values
+    # lexsort keys: last key is primary -> feed reversed columns.
+    order = np.lexsort(tuple(indices[:, c] for c in range(indices.shape[1] - 1, -1, -1)))
+    idx = indices[order]
+    val = values[order]
+    if idx.shape[0] > 1:
+        new_group = np.any(idx[1:] != idx[:-1], axis=1)
+        boundaries = np.concatenate([[True], new_group])
+        group_ids = np.cumsum(boundaries) - 1
+        merged = np.zeros(group_ids[-1] + 1)
+        np.add.at(merged, group_ids, val)
+        idx = idx[boundaries]
+        val = merged
+    keep = val != 0.0
+    return np.ascontiguousarray(idx[keep]), val[keep]
+
+
+def random_sparse(
+    shape: Sequence[int],
+    density: float,
+    seed=None,
+) -> SparseTensor:
+    """A random sparse tensor with ~``density`` fraction of nonzeros.
+
+    Coordinates are sampled without replacement; values are standard
+    normal.
+    """
+    shape_t = tuple(int(s) for s in shape)
+    check_probability(density, "density")
+    rng = default_rng(seed)
+    total = math.prod(shape_t)
+    nnz = int(round(density * total))
+    if nnz == 0:
+        return SparseTensor.empty(shape_t)
+    flat = rng.choice(total, size=nnz, replace=False)
+    indices = np.stack(np.unravel_index(flat, shape_t), axis=1)
+    values = rng.standard_normal(nnz)
+    return SparseTensor(indices, values, shape_t)

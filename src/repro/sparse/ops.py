@@ -1,0 +1,155 @@
+"""Sparse kernels: TTM and MTTKRP on COO tensors.
+
+Both kernels follow the paper's in-place philosophy translated to the
+sparse setting: no intermediate matricization of the tensor, grouped
+accumulation directly from the coordinate list.
+
+* :func:`ttm_sparse` — ``Y = X x_n U`` with X sparse and U dense; the
+  result is a :class:`~repro.sparse.semisparse.SemiSparseTensor` (dense
+  along mode n).  Each distinct non-n coordinate (a mode-n fiber of X)
+  contributes ``value * U[:, i_n]`` to its output fiber, accumulated
+  with a vectorized scatter-add.
+* :func:`mttkrp_sparse` — the SPLATT-style sparse MTTKRP: for each
+  nonzero, the Hadamard product of the other factors' rows is scaled by
+  the value and scattered into row ``i_n`` of the output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import SparseTensor
+from repro.sparse.semisparse import SemiSparseTensor
+from repro.util.errors import ShapeError
+from repro.util.validation import check_mode
+
+
+def _group_fibers(x: SparseTensor, mode: int):
+    """Group nonzeros by their non-*mode* coordinates.
+
+    Returns ``(fiber_indices, group_of_nnz)``: the distinct non-mode
+    coordinate rows (sorted) and, per nonzero, the index of its group.
+    """
+    other_cols = [m for m in range(x.order) if m != mode]
+    keys = x.indices[:, other_cols]
+    if keys.shape[0] == 0:
+        return keys, np.empty(0, dtype=np.int64)
+    fibers, groups = np.unique(keys, axis=0, return_inverse=True)
+    return fibers, groups.ravel()
+
+
+def ttm_sparse(x: SparseTensor, u: np.ndarray, mode: int) -> SemiSparseTensor:
+    """Sparse-tensor-times-dense-matrix: semi-sparse output, no unfolding."""
+    if not isinstance(x, SparseTensor):
+        raise TypeError(f"x must be a SparseTensor, got {type(x).__name__}")
+    u = np.asarray(u, dtype=np.float64)
+    mode = check_mode(mode, x.order)
+    if u.ndim != 2 or u.shape[1] != x.shape[mode]:
+        raise ShapeError(
+            f"U shape {u.shape} does not match (J, I_n={x.shape[mode]})"
+        )
+    j = u.shape[0]
+    out_shape = x.shape[:mode] + (j,) + x.shape[mode + 1 :]
+    fibers, groups = _group_fibers(x, mode)
+    block = np.zeros((fibers.shape[0], j))
+    if x.nnz:
+        # Contribution of nonzero t: value_t * U[:, i_n(t)] into its fiber.
+        contributions = x.values[:, None] * u.T[x.indices[:, mode]]
+        np.add.at(block, groups, contributions)
+    return SemiSparseTensor(fibers, block, out_shape, mode)
+
+
+def ttm_semisparse(
+    x: SemiSparseTensor, u: np.ndarray, mode: int
+) -> SemiSparseTensor:
+    """Mode-n product of a semi-sparse tensor with a dense matrix.
+
+    This is the inner step of memory-efficient sparse Tucker (Kolda &
+    Sun's METTM, the paper's [22]): after the first sparse TTM the
+    operand is dense along one mode, and subsequent products along
+    *other* modes transform each fiber block without ever materializing
+    the dense tensor.
+
+    * ``mode == x.dense_mode``: every fiber block is hit by U on the
+      right (``block @ U^T``) — fibers unchanged.
+    * otherwise: fibers are regrouped by their coordinates excluding
+      *mode*, and each group's blocks combine into J new fibers with
+      weights ``U[j, i_mode]``.
+    """
+    if not isinstance(x, SemiSparseTensor):
+        raise TypeError(
+            f"x must be a SemiSparseTensor, got {type(x).__name__}"
+        )
+    u = np.asarray(u, dtype=np.float64)
+    mode = check_mode(mode, x.order)
+    if u.ndim != 2 or u.shape[1] != x.shape[mode]:
+        raise ShapeError(
+            f"U shape {u.shape} does not match (J, I_n={x.shape[mode]})"
+        )
+    j = u.shape[0]
+    out_shape = x.shape[:mode] + (j,) + x.shape[mode + 1 :]
+    if mode == x.dense_mode:
+        return SemiSparseTensor(
+            x.fiber_indices, x.block @ u.T, out_shape, mode
+        )
+    # Column of *mode* within the fiber-coordinate array.
+    other_modes = [m for m in range(x.order) if m != x.dense_mode]
+    col = other_modes.index(mode)
+    rest_cols = [c for c in range(len(other_modes)) if c != col]
+    rest = x.fiber_indices[:, rest_cols]
+    if rest.shape[1] == 0:
+        groups = np.zeros(x.n_fibers, dtype=np.int64)
+        unique_rest = np.empty((1 if x.n_fibers else 0, 0), dtype=np.int64)
+    else:
+        unique_rest, inverse = np.unique(rest, axis=0, return_inverse=True)
+        groups = inverse.ravel()
+    n_groups = unique_rest.shape[0]
+    k = x.shape[x.dense_mode]
+    accum = np.zeros((n_groups, j, k))
+    if x.n_fibers:
+        # outer(U[:, i_mode], block_row) per fiber, scattered to its group.
+        contributions = (
+            u.T[x.fiber_indices[:, col]][:, :, None] * x.block[:, None, :]
+        )
+        np.add.at(accum, groups, contributions)
+    # New fiber coordinates: every (rest, j) pair, j fastest.
+    new_indices = np.empty((n_groups * j, len(other_modes)), dtype=np.int64)
+    if n_groups:
+        repeated = np.repeat(unique_rest, j, axis=0)
+        for pos, c in enumerate(rest_cols):
+            new_indices[:, c] = repeated[:, pos]
+        new_indices[:, col] = np.tile(np.arange(j), n_groups)
+    block = accum.reshape(n_groups * j, k)
+    return SemiSparseTensor(new_indices, block, out_shape, x.dense_mode)
+
+
+def mttkrp_sparse(
+    x: SparseTensor, factors, mode: int
+) -> np.ndarray:
+    """SPLATT-style sparse MTTKRP: ``(I_n x R)`` from COO nonzeros."""
+    if not isinstance(x, SparseTensor):
+        raise TypeError(f"x must be a SparseTensor, got {type(x).__name__}")
+    mode = check_mode(mode, x.order)
+    if len(factors) != x.order:
+        raise ShapeError(
+            f"need one factor per mode ({x.order}), got {len(factors)}"
+        )
+    mats = [np.asarray(f, dtype=np.float64) for f in factors]
+    rank = mats[0].shape[1]
+    for m, f in enumerate(mats):
+        if f.ndim != 2 or f.shape != (x.shape[m], rank):
+            raise ShapeError(
+                f"factor {m} must be ({x.shape[m]} x {rank}), got {f.shape}"
+            )
+    out = np.zeros((x.shape[mode], rank))
+    if not x.nnz:
+        return out
+    # Hadamard of the other factors' rows, one row per nonzero.
+    weights = np.full((x.nnz, rank), 1.0)
+    for m in range(x.order):
+        if m == mode:
+            continue
+        weights *= mats[m][x.indices[:, m]]
+    weights *= x.values[:, None]
+    np.add.at(out, x.indices[:, mode], weights)
+    return out

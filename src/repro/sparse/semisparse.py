@@ -1,0 +1,117 @@
+"""Semi-sparse tensors: dense along one mode, sparse elsewhere.
+
+A sparse TTM output is structurally dense along the product mode (every
+surviving fiber gets all J entries) but keeps the input's sparsity over
+the remaining modes.  Kolda & Sun's memory-efficient Tucker (METTM, the
+paper's [22]) is organized around exactly this structure.  We store it
+as the list of distinct *fiber coordinates* (indices over the non-dense
+modes) plus a ``(n_fibers x J)`` dense value block.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.util.errors import ShapeError
+
+
+class SemiSparseTensor:
+    """A tensor dense along ``dense_mode`` and sparse over the rest."""
+
+    __slots__ = ("_fiber_indices", "_block", "_shape", "_dense_mode")
+
+    def __init__(
+        self,
+        fiber_indices: np.ndarray,
+        block: np.ndarray,
+        shape: Sequence[int],
+        dense_mode: int,
+    ) -> None:
+        shape_t = tuple(int(s) for s in shape)
+        order = len(shape_t)
+        if not 0 <= dense_mode < order:
+            raise ShapeError(
+                f"dense_mode {dense_mode} out of range for order {order}"
+            )
+        idx = np.asarray(fiber_indices, dtype=np.int64)
+        blk = np.asarray(block, dtype=np.float64)
+        if idx.ndim != 2 or idx.shape[1] != order - 1:
+            raise ShapeError(
+                f"fiber_indices must be (n_fibers, {order - 1}), got "
+                f"{idx.shape}"
+            )
+        if blk.shape != (idx.shape[0], shape_t[dense_mode]):
+            raise ShapeError(
+                f"block must be ({idx.shape[0]}, {shape_t[dense_mode]}), "
+                f"got {blk.shape}"
+            )
+        other_extents = [s for m, s in enumerate(shape_t) if m != dense_mode]
+        if idx.size and (idx.min() < 0 or np.any(idx >= np.asarray(other_extents))):
+            raise ShapeError("fiber coordinates out of bounds")
+        self._fiber_indices = idx
+        self._block = blk
+        self._shape = shape_t
+        self._dense_mode = dense_mode
+
+    @property
+    def fiber_indices(self) -> np.ndarray:
+        """(n_fibers, order-1) coordinates over the non-dense modes."""
+        return self._fiber_indices
+
+    @property
+    def block(self) -> np.ndarray:
+        """(n_fibers, J) dense values along the dense mode."""
+        return self._block
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def order(self) -> int:
+        return len(self._shape)
+
+    @property
+    def dense_mode(self) -> int:
+        return self._dense_mode
+
+    @property
+    def n_fibers(self) -> int:
+        return self._fiber_indices.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        """Stored values (fibers x dense extent)."""
+        return self._block.size
+
+    @property
+    def storage_words(self) -> int:
+        """Words of storage: values + coordinates (as 8-byte words)."""
+        return self._block.size + self._fiber_indices.size
+
+    def to_dense(self) -> DenseTensor:
+        out = np.zeros(self._shape)
+        if self.n_fibers:
+            moved = np.moveaxis(out, self._dense_mode, -1)
+            moved[tuple(self._fiber_indices.T)] = self._block
+        return DenseTensor(out)
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._block))
+
+    @property
+    def densification(self) -> float:
+        """Fraction of all fibers that are present (1.0 = fully dense)."""
+        total = math.prod(self._shape) // self._shape[self._dense_mode]
+        return self.n_fibers / total if total else 0.0
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(s) for s in self._shape)
+        return (
+            f"SemiSparseTensor(shape={dims}, dense_mode={self._dense_mode}, "
+            f"fibers={self.n_fibers})"
+        )

@@ -1,0 +1,62 @@
+"""Dense tensor substrate.
+
+This subpackage provides the storage-layout-aware dense tensor object the
+rest of the library is built on, plus pure-view sub-tensor extraction
+(fibers, slices, merged-mode matrices per Lemma 4.1 of the paper) and both
+*physical* (copying) and *logical* (view) mode-n matricization.
+"""
+
+from repro.tensor.layout import (
+    ROW_MAJOR,
+    COL_MAJOR,
+    Layout,
+    element_strides,
+    is_contiguous_run,
+    linear_index,
+    storage_order,
+)
+from repro.tensor.dense import DenseTensor
+from repro.tensor.views import (
+    fiber,
+    merged_matrix_view,
+    mode_slice,
+    subtensor_matrix,
+)
+from repro.tensor.unfold import (
+    fold,
+    logical_unfold_axes,
+    unfold,
+    unfold_permutation,
+)
+from repro.tensor.generate import (
+    arange_tensor,
+    low_rank_tensor,
+    md_trajectory_tensor,
+    random_tensor,
+)
+from repro.tensor.workloads import eeg_tensor, image_ensemble_tensor
+
+__all__ = [
+    "ROW_MAJOR",
+    "COL_MAJOR",
+    "Layout",
+    "element_strides",
+    "is_contiguous_run",
+    "linear_index",
+    "storage_order",
+    "DenseTensor",
+    "fiber",
+    "merged_matrix_view",
+    "mode_slice",
+    "subtensor_matrix",
+    "fold",
+    "logical_unfold_axes",
+    "unfold",
+    "unfold_permutation",
+    "arange_tensor",
+    "low_rank_tensor",
+    "md_trajectory_tensor",
+    "random_tensor",
+    "eeg_tensor",
+    "image_ensemble_tensor",
+]

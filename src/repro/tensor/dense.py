@@ -1,0 +1,231 @@
+"""The :class:`DenseTensor` object.
+
+A ``DenseTensor`` is a thin, layout-explicit wrapper around a contiguous
+NumPy array.  It exists because the paper's algorithms are statements about
+*storage*: whether a TTM can run in place depends on which modes are
+contiguous in memory, and NumPy's implicit view semantics make it too easy
+to lose track of that.  The wrapper guarantees:
+
+* ``tensor.data`` is contiguous in ``tensor.layout`` order (C or F);
+* element strides are available as ``tensor.strides`` and always agree
+  with the declared layout;
+* any physical reorganization (``permute``) is explicit and observable,
+  which lets tests and the phase profiler attribute copy costs precisely.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.layout import Layout, element_strides, leading_mode
+from repro.util.errors import LayoutError, ShapeError
+from repro.util.rng import default_rng
+from repro.util.validation import normalized_order
+
+
+class DenseTensor:
+    """A dense N-way tensor with an explicit storage layout.
+
+    Parameters
+    ----------
+    data:
+        Array data.  It is used as-is when already contiguous in the
+        requested layout (``copy=False``); otherwise it is copied into the
+        requested layout.
+    layout:
+        ``Layout.ROW_MAJOR`` (default, the paper's convention) or
+        ``Layout.COL_MAJOR`` (Tensor Toolbox convention).
+    copy:
+        Force a copy even when *data* already satisfies the layout.
+    """
+
+    __slots__ = ("_data", "_layout", "_strides")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        layout: Layout | str = Layout.ROW_MAJOR,
+        *,
+        copy: bool = False,
+    ) -> None:
+        layout = Layout.parse(layout)
+        arr = np.asarray(data, dtype=np.float64)
+        order = layout.numpy_order
+        want_flag = "C_CONTIGUOUS" if layout is Layout.ROW_MAJOR else "F_CONTIGUOUS"
+        if copy or not arr.flags[want_flag]:
+            arr = np.array(arr, dtype=np.float64, order=order, copy=True)
+        self._data = arr
+        self._layout = layout
+        self._strides = element_strides(arr.shape, layout)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zeros(
+        cls, shape: Sequence[int], layout: Layout | str = Layout.ROW_MAJOR
+    ) -> "DenseTensor":
+        """A zero-filled tensor of the given shape and layout."""
+        layout = Layout.parse(layout)
+        return cls(np.zeros(tuple(shape), order=layout.numpy_order), layout)
+
+    @classmethod
+    def empty(
+        cls, shape: Sequence[int], layout: Layout | str = Layout.ROW_MAJOR
+    ) -> "DenseTensor":
+        """An uninitialized tensor (used for preallocating TTM outputs)."""
+        layout = Layout.parse(layout)
+        return cls(np.empty(tuple(shape), order=layout.numpy_order), layout)
+
+    @classmethod
+    def random(
+        cls,
+        shape: Sequence[int],
+        layout: Layout | str = Layout.ROW_MAJOR,
+        seed=None,
+    ) -> "DenseTensor":
+        """A tensor with iid uniform [0, 1) entries (deterministic per seed)."""
+        layout = Layout.parse(layout)
+        rng = default_rng(seed)
+        values = rng.random(tuple(shape))
+        return cls(np.asarray(values, order=layout.numpy_order), layout)
+
+    @classmethod
+    def from_array(
+        cls, data: np.ndarray, layout: Layout | str = Layout.ROW_MAJOR
+    ) -> "DenseTensor":
+        """Wrap (or copy into layout) an existing ndarray."""
+        return cls(data, layout)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying contiguous ndarray (a view, never a copy)."""
+        return self._data
+
+    @property
+    def layout(self) -> Layout:
+        """The declared storage layout."""
+        return self._layout
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Extent of each mode."""
+        return self._data.shape
+
+    @property
+    def order(self) -> int:
+        """Number of modes (the paper's tensor *order* N)."""
+        return self._data.ndim
+
+    @property
+    def ndim(self) -> int:
+        """Alias of :attr:`order` for NumPy familiarity."""
+        return self._data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self._data.size
+
+    @property
+    def nbytes(self) -> int:
+        """Total storage in bytes."""
+        return self._data.nbytes
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype (always float64 in this library)."""
+        return self._data.dtype
+
+    @property
+    def strides(self) -> tuple[int, ...]:
+        """Element strides of each mode under the declared layout."""
+        return self._strides
+
+    @property
+    def leading_mode(self) -> int:
+        """The unit-stride mode (last for row-major, first for column-major)."""
+        return leading_mode(self.order, self._layout)
+
+    # -- element access ----------------------------------------------------
+
+    def __getitem__(self, key):
+        """Index into the underlying array; returns ndarray views/scalars."""
+        return self._data[key]
+
+    def __setitem__(self, key, value) -> None:
+        self._data[key] = value
+
+    def __array__(self, dtype=None, copy=None):
+        if dtype is not None and dtype != self._data.dtype:
+            return self._data.astype(dtype)
+        if copy:
+            return self._data.copy()
+        return self._data
+
+    def to_numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (no copy)."""
+        return self._data
+
+    # -- structural operations --------------------------------------------
+
+    def copy(self) -> "DenseTensor":
+        """A deep copy preserving layout."""
+        return DenseTensor(self._data, self._layout, copy=True)
+
+    def with_layout(self, layout: Layout | str) -> "DenseTensor":
+        """Rematerialize this tensor in another storage layout (copies)."""
+        layout = Layout.parse(layout)
+        if layout is self._layout:
+            return self.copy()
+        return DenseTensor(self._data, layout, copy=True)
+
+    def permute(self, perm: Sequence[int]) -> "DenseTensor":
+        """Physically permute modes (an explicit copy; Algorithm 1's step).
+
+        This is the operation the in-place algorithm avoids; baselines call
+        it and the phase profiler charges its cost to the *transform* phase.
+        """
+        perm_t = normalized_order(perm, self.order)
+        moved = np.transpose(self._data, perm_t)
+        return DenseTensor(moved, self._layout, copy=True)
+
+    def reshape_copyfree(self, shape: Sequence[int]) -> np.ndarray:
+        """Reshape to *shape* without copying, or raise :class:`LayoutError`.
+
+        Only reshapes that merge/split modes consistently with the storage
+        layout are possible copy-free; NumPy would silently copy otherwise,
+        so we demand a view and fail loudly if one cannot be formed.
+        """
+        new_shape = tuple(int(s) for s in shape)
+        if math.prod(new_shape) != self.size:
+            raise ShapeError(
+                f"cannot reshape size-{self.size} tensor to {new_shape}"
+            )
+        try:
+            view = self._data.reshape(new_shape, order=self._layout.numpy_order)
+        except ValueError as exc:  # pragma: no cover - numpy message passthrough
+            raise LayoutError(str(exc)) from exc
+        if view.base is not self._data and view.base is not self._data.base:
+            raise LayoutError(
+                f"reshape to {new_shape} requires a copy under layout "
+                f"{self._layout.name}"
+            )
+        return view
+
+    # -- comparisons and debugging ------------------------------------------
+
+    def allclose(self, other, rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+        """Elementwise closeness against another tensor/array (layout-agnostic)."""
+        other_arr = np.asarray(other)
+        if other_arr.shape != self.shape:
+            return False
+        return bool(np.allclose(self._data, other_arr, rtol=rtol, atol=atol))
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(s) for s in self.shape)
+        return f"DenseTensor(shape={dims}, layout={self._layout.name})"

@@ -1,0 +1,123 @@
+"""Synthetic tensor generators for tests, examples, and benchmarks.
+
+The paper's experiments use dense random tensors whose mode-n products
+produce low-rank (small-J) outputs, matching what tensor decompositions
+feed TTM.  The MD-trajectory generator backs the molecular-dynamics
+time-series example the paper cites as a dense application (§7).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import Layout
+from repro.util.rng import default_rng
+from repro.util.validation import check_positive_int
+
+
+def random_tensor(
+    shape: Sequence[int],
+    layout: Layout | str = Layout.ROW_MAJOR,
+    seed=None,
+) -> DenseTensor:
+    """A dense tensor with iid standard-normal entries."""
+    rng = default_rng(seed)
+    data = rng.standard_normal(tuple(int(s) for s in shape))
+    return DenseTensor(data, layout)
+
+
+def arange_tensor(
+    shape: Sequence[int],
+    layout: Layout | str = Layout.ROW_MAJOR,
+    start: int = 1,
+) -> DenseTensor:
+    """A tensor filled 1..size in *storage* order.
+
+    With column-major layout and ``start=1`` this reproduces the paper's
+    running example (§2, equation 3): the 3x4x2 tensor whose unfoldings are
+    written out explicitly.  Useful as a fixture whose unfolded values are
+    known by construction.
+    """
+    layout = Layout.parse(layout)
+    size = math.prod(int(s) for s in shape)
+    flat = np.arange(start, start + size, dtype=np.float64)
+    data = flat.reshape(tuple(shape), order=layout.numpy_order)
+    return DenseTensor(data, layout)
+
+
+def low_rank_tensor(
+    shape: Sequence[int],
+    ranks: Sequence[int] | int,
+    layout: Layout | str = Layout.ROW_MAJOR,
+    noise: float = 0.0,
+    seed=None,
+) -> DenseTensor:
+    """A tensor with an exact (or noisy) Tucker structure of given ranks.
+
+    Constructed as a random core of size *ranks* expanded by random factor
+    matrices — the workload class for which TTM outputs are much smaller
+    than inputs (the paper's Observation 1 regime).  With ``noise > 0`` an
+    iid Gaussian perturbation of that relative magnitude is added.
+    """
+    rng = default_rng(seed)
+    shape_t = tuple(int(s) for s in shape)
+    if isinstance(ranks, int):
+        ranks_t = tuple(min(ranks, s) for s in shape_t)
+    else:
+        ranks_t = tuple(min(int(r), s) for r, s in zip(ranks, shape_t))
+    if len(ranks_t) != len(shape_t):
+        raise ValueError(f"ranks {ranks_t} do not match shape {shape_t}")
+    core = rng.standard_normal(ranks_t)
+    data = core
+    for mode, (dim, rank) in enumerate(zip(shape_t, ranks_t)):
+        factor = rng.standard_normal((dim, rank)) / math.sqrt(rank)
+        data = np.moveaxis(
+            np.tensordot(factor, data, axes=(1, mode)), 0, mode
+        )
+    if noise > 0.0:
+        scale = noise * float(np.linalg.norm(data)) / math.sqrt(data.size)
+        data = data + rng.standard_normal(shape_t) * scale
+    return DenseTensor(data, layout)
+
+
+def md_trajectory_tensor(
+    n_frames: int,
+    n_atoms: int,
+    n_coords: int = 3,
+    n_modes: int = 4,
+    layout: Layout | str = Layout.ROW_MAJOR,
+    seed=None,
+) -> DenseTensor:
+    """A synthetic molecular-dynamics trajectory tensor (frames x atoms x xyz).
+
+    Atoms oscillate around reference positions as a superposition of
+    *n_modes* collective motions with distinct frequencies plus thermal
+    noise — the structure collective-motion analyses extract with tensor
+    decompositions.  This substitutes for the proprietary MD traces the
+    paper's future-work application uses; the TTM code path exercised is
+    identical for any dense order-3 tensor of this shape.
+    """
+    check_positive_int(n_frames, "n_frames")
+    check_positive_int(n_atoms, "n_atoms")
+    check_positive_int(n_coords, "n_coords")
+    check_positive_int(n_modes, "n_modes")
+    rng = default_rng(seed)
+    reference = rng.standard_normal((n_atoms, n_coords)) * 5.0
+    times = np.linspace(0.0, 2.0 * math.pi, n_frames, endpoint=False)
+    trajectory = np.broadcast_to(
+        reference, (n_frames, n_atoms, n_coords)
+    ).copy()
+    for k in range(n_modes):
+        frequency = 1.0 + k
+        phase = rng.uniform(0.0, 2.0 * math.pi)
+        direction = rng.standard_normal((n_atoms, n_coords))
+        direction /= np.linalg.norm(direction)
+        amplitude = 1.0 / (k + 1)
+        wave = amplitude * np.sin(frequency * times + phase)
+        trajectory += wave[:, None, None] * direction[None, :, :]
+    trajectory += 0.02 * rng.standard_normal(trajectory.shape)
+    return DenseTensor(trajectory, layout)

@@ -1,0 +1,135 @@
+"""Mode-n matricization (*unfolding*) and its inverse (*folding*).
+
+This is the operation the conventional TTM (Algorithm 1) performs
+physically — permute the tensor so mode *n* leads, then reshape to a
+matrix — and the operation INTENSLI avoids.  We provide:
+
+* :func:`unfold` — the physical (copying) unfolding used by baselines, for
+  both row- and column-major conventions;
+* :func:`fold` — the inverse tensorization, also copying;
+* :func:`logical_unfold_axes` — the copy-free unfoldings that *are*
+  possible as pure views, used by the in-place algorithm and by tests.
+
+Convention: the mode-*n* unfolding ``X_(n)`` is the ``I_n x (prod of the
+other extents)`` matrix whose columns enumerate the non-*n* modes in
+increasing index order — the Kolda/Bader definition used by the paper's
+Algorithm 1 (``order = [n, 1:n-1, n+1:N]``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import Layout
+from repro.tensor.views import subtensor_matrix
+from repro.util.errors import LayoutError
+from repro.util.validation import check_mode
+
+
+def unfold_permutation(order: int, mode: int) -> tuple[int, ...]:
+    """The mode-leading permutation Algorithm 1 applies before reshaping."""
+    mode = check_mode(mode, order)
+    return (mode, *range(0, mode), *range(mode + 1, order))
+
+
+def inverse_permutation(perm: Sequence[int]) -> tuple[int, ...]:
+    """The permutation undoing *perm* (Algorithm 1, line 7)."""
+    inv = [0] * len(perm)
+    for position, axis in enumerate(perm):
+        inv[axis] = position
+    return tuple(inv)
+
+
+def unfold(tensor: DenseTensor, mode: int) -> np.ndarray:
+    """Physically unfold *tensor* along *mode* (always copies).
+
+    For a row-major tensor the result is C-contiguous; for column-major it
+    is F-contiguous — matching what each convention's BLAS call expects.
+    The copy cost of this function is exactly the "transform" overhead the
+    paper profiles in figure 4.
+    """
+    mode = check_mode(mode, tensor.order)
+    perm = unfold_permutation(tensor.order, mode)
+    rest = math.prod(tensor.shape) // tensor.shape[mode] if tensor.size else 0
+    np_order = tensor.layout.numpy_order
+    moved = np.transpose(tensor.data, perm)
+    flat = np.array(moved, order=np_order, copy=True)
+    return flat.reshape((tensor.shape[mode], rest), order=np_order)
+
+
+def fold(
+    matrix: np.ndarray,
+    mode: int,
+    shape: Sequence[int],
+    layout: Layout | str = Layout.ROW_MAJOR,
+) -> DenseTensor:
+    """Fold a mode-*mode* unfolding back into a tensor of *shape* (copies).
+
+    Inverse of :func:`unfold`:
+    ``fold(unfold(t, n), n, t.shape, t.layout)`` equals ``t``.
+    """
+    layout = Layout.parse(layout)
+    shape_t = tuple(int(s) for s in shape)
+    mode = check_mode(mode, len(shape_t))
+    rest = math.prod(shape_t) // shape_t[mode] if math.prod(shape_t) else 0
+    mat = np.asarray(matrix)
+    if mat.shape != (shape_t[mode], rest):
+        raise LayoutError(
+            f"matrix shape {mat.shape} does not match mode-{mode} unfolding "
+            f"of shape {shape_t} (expected {(shape_t[mode], rest)})"
+        )
+    perm = unfold_permutation(len(shape_t), mode)
+    permuted_shape = tuple(shape_t[p] for p in perm)
+    np_order = layout.numpy_order
+    cube = mat.reshape(permuted_shape, order=np_order)
+    restored = np.transpose(cube, inverse_permutation(perm))
+    return DenseTensor(restored, layout, copy=True)
+
+
+def logical_unfold_axes(order: int, layout: Layout) -> tuple[int, ...]:
+    """Modes whose unfolding is possible as a pure view (no copy).
+
+    A mode-*n* unfolding is a view exactly when the mode-leading permutation
+    is a no-op in storage order: mode 0 for row-major tensors (the remaining
+    modes already trail it contiguously) and mode N-1 for column-major.
+    Order-2 tensors additionally admit the other mode via the transpose
+    view, but we report only strict unfoldings here.
+    """
+    if order < 1:
+        return ()
+    if layout is Layout.ROW_MAJOR:
+        return (0,)
+    return (order - 1,)
+
+
+def logical_unfold(tensor: DenseTensor, mode: int) -> np.ndarray:
+    """Unfold as a pure view when possible, else raise :class:`LayoutError`.
+
+    Used by fast paths; the general in-place algorithm never needs a full
+    unfolding of a non-leading mode.
+    """
+    mode = check_mode(mode, tensor.order)
+    if tensor.order == 1:
+        # An order-1 tensor unfolds to a single-column matrix either way.
+        return tensor.data.reshape(tensor.shape[0], 1)
+    allowed = logical_unfold_axes(tensor.order, tensor.layout)
+    if mode not in allowed:
+        raise LayoutError(
+            f"mode-{mode} unfolding of a {tensor.layout.name} order-"
+            f"{tensor.order} tensor requires a copy; only modes {allowed} "
+            "unfold as views"
+        )
+    if tensor.layout is Layout.ROW_MAJOR:
+        return subtensor_matrix(tensor, 1)
+    # Column-major, mode == N-1: rows are the last mode, columns merge the
+    # leading modes; that is the transpose of the natural split view.
+    return subtensor_matrix(tensor, tensor.order - 1).T
+
+
+def vec(tensor: DenseTensor) -> np.ndarray:
+    """Vectorize the tensor in its own storage order (a view)."""
+    return tensor.data.reshape(-1, order=tensor.layout.numpy_order)

@@ -1,0 +1,119 @@
+"""Application-domain synthetic workloads (the paper's §1 motivations).
+
+The introduction motivates TTM with applications in neuroscience (EEG
+analysis), signal/image processing (TensorFaces-style image ensembles),
+and data analytics.  Real datasets from those domains are not shippable
+here, so these generators produce tensors with the *structure* each
+application's decompositions exploit — oscillatory multilinear structure
+for EEG, low multilinear rank plus per-factor variation for image
+ensembles — so the examples and benchmarks exercise the same shapes and
+rank regimes the applications do.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import Layout
+from repro.util.rng import default_rng
+from repro.util.validation import check_positive_int
+
+
+def eeg_tensor(
+    n_channels: int = 32,
+    n_frequencies: int = 24,
+    n_times: int = 128,
+    n_sources: int = 3,
+    noise: float = 0.1,
+    layout: Layout | str = Layout.ROW_MAJOR,
+    seed=None,
+) -> DenseTensor:
+    """A channels x frequencies x time tensor with oscillatory sources.
+
+    Mimics wavelet-transformed event-related EEG (the paper's [28]):
+    each latent source has a spatial topography over channels, a spectral
+    signature concentrated around a centre frequency, and a temporal
+    envelope — the trilinear structure PARAFAC/Tucker analyses extract.
+    """
+    for name, value in (
+        ("n_channels", n_channels),
+        ("n_frequencies", n_frequencies),
+        ("n_times", n_times),
+        ("n_sources", n_sources),
+    ):
+        check_positive_int(value, name)
+    rng = default_rng(seed)
+    data = np.zeros((n_channels, n_frequencies, n_times))
+    freqs = np.linspace(1.0, 40.0, n_frequencies)
+    times = np.linspace(0.0, 1.0, n_times)
+    for _src in range(n_sources):
+        topography = rng.standard_normal(n_channels)
+        topography /= np.linalg.norm(topography)
+        centre = rng.uniform(4.0, 30.0)
+        bandwidth = rng.uniform(1.5, 5.0)
+        spectrum = np.exp(-0.5 * ((freqs - centre) / bandwidth) ** 2)
+        onset = rng.uniform(0.1, 0.6)
+        envelope = np.exp(-0.5 * ((times - onset) / 0.12) ** 2)
+        carrier = np.cos(2.0 * math.pi * centre * times + rng.uniform(0, 6.28))
+        temporal = envelope * (0.6 + 0.4 * carrier)
+        data += np.einsum("c,f,t->cft", topography, spectrum, temporal)
+    if noise > 0.0:
+        scale = noise * float(np.linalg.norm(data)) / math.sqrt(data.size)
+        data += scale * rng.standard_normal(data.shape)
+    return DenseTensor(data, layout)
+
+
+def image_ensemble_tensor(
+    n_people: int = 12,
+    n_poses: int = 5,
+    n_illuminations: int = 4,
+    n_pixels: int = 256,
+    rank: int = 6,
+    noise: float = 0.05,
+    layout: Layout | str = Layout.ROW_MAJOR,
+    seed=None,
+) -> DenseTensor:
+    """A people x poses x illuminations x pixels ensemble (TensorFaces [44]).
+
+    Each image is a multilinear mixture: person coefficients select an
+    identity subspace, pose and illumination coefficients modulate it,
+    and a shared pixel basis renders it — the exact generative model the
+    TensorFaces HOSVD inverts.
+    """
+    for name, value in (
+        ("n_people", n_people),
+        ("n_poses", n_poses),
+        ("n_illuminations", n_illuminations),
+        ("n_pixels", n_pixels),
+        ("rank", rank),
+    ):
+        check_positive_int(value, name)
+    rng = default_rng(seed)
+    r_person = min(rank, n_people)
+    r_pose = min(rank, n_poses)
+    r_illum = min(rank, n_illuminations)
+    r_pixel = min(rank * 2, n_pixels)
+    core = rng.standard_normal((r_person, r_pose, r_illum, r_pixel))
+    person = rng.standard_normal((n_people, r_person))
+    pose = rng.standard_normal((n_poses, r_pose))
+    illum = np.abs(rng.standard_normal((n_illuminations, r_illum))) + 0.2
+    # A smooth pixel basis: random low-frequency cosine mixtures.
+    grid = np.linspace(0.0, math.pi, n_pixels)
+    pixel = np.stack(
+        [
+            np.cos(grid * rng.integers(1, 8) + rng.uniform(0, 6.28))
+            for _ in range(r_pixel)
+        ],
+        axis=1,
+    )
+    data = np.einsum(
+        "abcd,ia,jb,kc,ld->ijkl", core, person, pose, illum, pixel,
+        optimize=True,
+    )
+    if noise > 0.0:
+        scale = noise * float(np.linalg.norm(data)) / math.sqrt(data.size)
+        data += scale * rng.standard_normal(data.shape)
+    return DenseTensor(data, layout)

@@ -1,0 +1,93 @@
+"""Public verification helpers for downstream users.
+
+A library whose whole point is nonobvious data movement should ship its
+own oracle: :func:`ttm_reference` is the direct einsum transcription of
+the paper's equation (1), and :func:`assert_ttm_consistent` checks any
+TTM callable against it over a representative geometry grid (all modes,
+both layouts, degenerate extents).  The internal test suite uses the
+same functions, so user-side verification and CI verification cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import COL_MAJOR, ROW_MAJOR, Layout
+from repro.util.rng import default_rng
+
+#: Geometry grid: (shape, J, mode) covering orders 1-5, non-square
+#: extents, size-1 modes, J = 1, and J > I_n.
+DEFAULT_CASES: tuple[tuple[tuple[int, ...], int, int], ...] = (
+    ((7,), 3, 0),
+    ((5, 6), 4, 0),
+    ((5, 6), 4, 1),
+    ((3, 4, 5), 2, 0),
+    ((3, 4, 5), 6, 1),
+    ((3, 4, 5), 2, 2),
+    ((1, 4, 5), 2, 1),
+    ((3, 1, 5), 2, 0),
+    ((3, 4, 1), 2, 2),
+    ((4, 4, 4, 4), 3, 0),
+    ((2, 3, 4, 5), 2, 1),
+    ((2, 3, 4, 5), 7, 2),
+    ((2, 3, 4, 5), 2, 3),
+    ((2, 2, 2, 2, 3), 2, 0),
+    ((2, 2, 3, 2, 2), 4, 2),
+    ((2, 2, 2, 2, 3), 2, 4),
+    ((6, 5), 1, 0),
+    ((3, 4, 5), 9, 1),
+)
+
+
+def ttm_reference(x: np.ndarray, u: np.ndarray, mode: int) -> np.ndarray:
+    """The mode-n product by definition (paper equation 1).
+
+    ``Y[i1..j..iN] = sum_k X[i1..k..iN] * U[j, k]`` — computed with
+    ``tensordot`` and an axis move; deliberately simple, never optimized.
+    """
+    moved = np.tensordot(np.asarray(u), np.asarray(x), axes=(1, mode))
+    return np.moveaxis(moved, 0, mode)
+
+
+def assert_ttm_consistent(
+    ttm_callable: Callable[[DenseTensor, np.ndarray, int], object],
+    cases: Sequence[tuple[tuple[int, ...], int, int]] = DEFAULT_CASES,
+    layouts: Sequence[Layout] = (ROW_MAJOR, COL_MAJOR),
+    seed=0,
+    rtol: float = 1e-10,
+    atol: float = 1e-12,
+) -> int:
+    """Check *ttm_callable* against the reference on every case.
+
+    The callable receives ``(DenseTensor, U, mode)`` and may return a
+    DenseTensor or a plain ndarray.  Raises ``AssertionError`` naming the
+    first failing case; returns the number of cases checked.
+    """
+    rng = default_rng(seed)
+    checked = 0
+    for layout in layouts:
+        for shape, j, mode in cases:
+            x = DenseTensor(rng.standard_normal(shape), layout)
+            u = rng.standard_normal((j, shape[mode]))
+            got = ttm_callable(x, u, mode)
+            got_arr = np.asarray(
+                got.data if isinstance(got, DenseTensor) else got
+            )
+            expect = ttm_reference(x.data, u, mode)
+            if got_arr.shape != expect.shape:
+                raise AssertionError(
+                    f"shape mismatch for shape={shape} mode={mode} "
+                    f"layout={layout.name}: {got_arr.shape} != {expect.shape}"
+                )
+            if not np.allclose(got_arr, expect, rtol=rtol, atol=atol):
+                worst = float(np.max(np.abs(got_arr - expect)))
+                raise AssertionError(
+                    f"value mismatch for shape={shape} J={j} mode={mode} "
+                    f"layout={layout.name}: max abs error {worst:g}"
+                )
+            checked += 1
+    return checked

@@ -1,0 +1,46 @@
+"""Shared utilities: errors, argument validation, RNG, and formatting.
+
+These helpers are deliberately tiny and dependency-free so that every
+substrate (tensor, gemm, cachesim, core) can rely on them without import
+cycles.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    LayoutError,
+    PlanError,
+    ShapeError,
+    StrideError,
+)
+from repro.util.validation import (
+    check_axis,
+    check_mode,
+    check_positive_int,
+    check_probability,
+    normalized_order,
+)
+from repro.util.rng import default_rng
+from repro.util.formatting import (
+    format_bytes,
+    format_gflops,
+    format_shape,
+    format_table,
+)
+
+__all__ = [
+    "ReproError",
+    "LayoutError",
+    "PlanError",
+    "ShapeError",
+    "StrideError",
+    "check_axis",
+    "check_mode",
+    "check_positive_int",
+    "check_probability",
+    "normalized_order",
+    "default_rng",
+    "format_bytes",
+    "format_gflops",
+    "format_shape",
+    "format_table",
+]

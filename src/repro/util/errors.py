@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one base class.  Subclasses also
+derive from the matching builtin (``ValueError``/``TypeError``) so that
+generic call sites keep working.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array or tensor has an incompatible shape for the operation."""
+
+
+class StrideError(ReproError, ValueError):
+    """A stride configuration is invalid or unsupported by a kernel."""
+
+
+class LayoutError(ReproError, ValueError):
+    """A tensor layout (row-/column-major) is invalid for the operation."""
+
+
+class PlanError(ReproError, ValueError):
+    """A TTM execution plan is malformed or inconsistent with its input."""
+
+
+class BenchmarkError(ReproError, RuntimeError):
+    """A benchmark profile is missing data required by the estimator."""

@@ -1,0 +1,41 @@
+"""Human-readable formatting used by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_bytes(nbytes: float) -> str:
+    """Format a byte count with a binary-prefix unit (e.g. ``1.25 MiB``)."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_gflops(gflops: float) -> str:
+    """Format a GFLOP/s rate with two decimals."""
+    return f"{gflops:.2f} GFLOP/s"
+
+
+def format_shape(shape: Sequence[int]) -> str:
+    """Format a tensor shape as ``I1 x I2 x ... x IN``."""
+    return " x ".join(str(int(s)) for s in shape)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table (used by bench harness output)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Deterministic random-number generation helpers.
+
+Every stochastic routine in the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy) and
+funnels through :func:`default_rng` so behaviour is reproducible in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def default_rng(seed=None) -> np.random.Generator:
+    """Return a NumPy Generator from a seed, an existing generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

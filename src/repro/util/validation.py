@@ -1,0 +1,60 @@
+"""Argument validation helpers used across the package.
+
+The public API validates eagerly with clear error messages; inner kernels
+assume validated inputs for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.errors import ShapeError
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive (>= 1) integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_mode(mode: int, order: int) -> int:
+    """Validate a 0-based mode index against a tensor order and return it.
+
+    The paper uses 1-based modes; this library is 0-based throughout and
+    converts only when printing paper-style output.
+    """
+    if isinstance(mode, bool) or not isinstance(mode, int):
+        raise TypeError(f"mode must be an int, got {type(mode).__name__}")
+    if not 0 <= mode < order:
+        raise ShapeError(f"mode {mode} out of range for order-{order} tensor")
+    return mode
+
+
+def check_axis(axis: int, ndim: int) -> int:
+    """Validate an axis index, allowing negative indices; return normalized."""
+    if isinstance(axis, bool) or not isinstance(axis, int):
+        raise TypeError(f"axis must be an int, got {type(axis).__name__}")
+    if axis < 0:
+        axis += ndim
+    if not 0 <= axis < ndim:
+        raise ShapeError(f"axis {axis} out of range for ndim {ndim}")
+    return axis
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that *value* lies in [0, 1] and return it as float."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def normalized_order(perm: Sequence[int], ndim: int) -> tuple[int, ...]:
+    """Validate that *perm* is a permutation of range(ndim); return a tuple."""
+    perm_t = tuple(int(p) for p in perm)
+    if sorted(perm_t) != list(range(ndim)):
+        raise ShapeError(f"{perm!r} is not a permutation of range({ndim})")
+    return perm_t

@@ -1,0 +1,165 @@
+"""Tests for the arithmetic-intensity equations (4)-(6) and roofline model."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    CORE_I7_4770K,
+    PLATFORMS,
+    XEON_E7_4820,
+    RooflinePlatform,
+    attainable_gflops,
+    copy_penalty,
+    copy_ttm_intensity,
+    equivalent_gemm_dim,
+    gemm_intensity_bound,
+    gemm_model_gflops,
+    inplace_ttm_intensity,
+    intensity_regime_holds,
+    min_words_moved,
+    shape_intensity,
+    ttm_copy_words,
+    ttm_flops,
+)
+from repro.analysis.roofline import working_set_bytes
+
+
+class TestIntensityEquations:
+    def test_eq4_bound_at_paper_cache(self):
+        # Z = 2^20 words (8 MiB): A <= 8 * 2^10 = 8192 flops/word.
+        assert gemm_intensity_bound(2**20) == pytest.approx(8192.0)
+
+    def test_eq5_paper_example_penalty(self):
+        """Paper: Z = 2^20, d = 3, n ~ 1600 => m ~ 254 and 1 + A/m ~ 33."""
+        m = round(1600 ** (3 / 4))  # m = n^{3/(d+1)}
+        assert m in (253, 254)  # paper rounds to 254
+        penalty = copy_penalty(2**20, m)
+        assert 30.0 < penalty < 35.0
+
+    def test_eq5_intensity_is_bound_over_penalty(self):
+        z, m = 2**18, 100
+        assert copy_ttm_intensity(z, m) == pytest.approx(
+            gemm_intensity_bound(z) / copy_penalty(z, m)
+        )
+
+    def test_eq6_inplace_restores_bound(self):
+        assert inplace_ttm_intensity(2**20) == gemm_intensity_bound(2**20)
+
+    def test_penalty_grows_as_m_shrinks(self):
+        z = 2**20
+        assert copy_penalty(z, 50) > copy_penalty(z, 500)
+
+    def test_regime_condition(self):
+        z = 2**10
+        assert intensity_regime_holds(1e12, z)
+        assert not intensity_regime_holds(10.0, z)
+
+    def test_min_words_moved_clamped(self):
+        assert min_words_moved(1.0, 2**20) == 0.0
+        assert min_words_moved(1e12, 2**10) > 0.0
+
+    def test_equivalent_gemm_dim_inverts_paper_relation(self):
+        # n = 1600, d = 3: m = n^{3/4}; check the forward map.
+        m = 254
+        n = equivalent_gemm_dim(m, 3)
+        assert n == pytest.approx(m ** (4 / 3))
+
+    def test_ttm_flops_mode_independent(self):
+        assert ttm_flops((10, 20, 30), 5) == 2 * 5 * 6000
+
+    def test_ttm_copy_words(self):
+        assert ttm_copy_words((10, 10, 10)) == 2000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gemm_intensity_bound(0)
+        with pytest.raises(ValueError):
+            copy_penalty(2**10, 0)
+
+
+class TestRooflinePlatforms:
+    def test_table2_presets(self):
+        assert CORE_I7_4770K.peak_gflops == 224.0
+        assert CORE_I7_4770K.cores == 4
+        assert CORE_I7_4770K.llc_bytes == 8 * 1024**2
+        assert XEON_E7_4820.peak_gflops == 128.0
+        assert XEON_E7_4820.cores == 16
+        assert XEON_E7_4820.bandwidth_gbs == 34.2
+        assert set(PLATFORMS) == {"core-i7-4770k", "xeon-e7-4820"}
+
+    def test_llc_words(self):
+        assert CORE_I7_4770K.llc_words == 2**20
+
+    def test_peak_at_scales_with_cores(self):
+        assert CORE_I7_4770K.peak_at(1) == pytest.approx(56.0)
+        assert CORE_I7_4770K.peak_at(4) == pytest.approx(224.0)
+        # SMT threads beyond physical cores add no flops.
+        assert CORE_I7_4770K.peak_at(8) == pytest.approx(224.0)
+
+    def test_platform_validation(self):
+        with pytest.raises(ValueError):
+            RooflinePlatform("x", 1.0, 1.0, 0, 1, 1)
+
+
+class TestShapeIntensity:
+    def test_square_intensity(self):
+        # n x n x n: I = 2n/3.
+        assert shape_intensity(90, 90, 90) == pytest.approx(60.0)
+
+    def test_skinny_m_limits_intensity(self):
+        # m = 16 with huge k, n: I -> 2 / (1/16) = 32.
+        assert shape_intensity(16, 10**6, 10**6) == pytest.approx(32.0, rel=0.01)
+
+    def test_cache_cap(self):
+        capped = shape_intensity(10**5, 10**5, 10**5, z_words=2**10)
+        assert capped == pytest.approx(8 * math.sqrt(2**10))
+
+    def test_working_set_bytes(self):
+        assert working_set_bytes(2, 3, 4) == 8 * (6 + 12 + 8)
+
+
+class TestAttainable:
+    def test_memory_bound_small_intensity(self):
+        got = attainable_gflops(1.0, CORE_I7_4770K, threads=4)
+        assert got == pytest.approx(25.6 / 8.0)
+
+    def test_compute_bound_large_intensity(self):
+        got = attainable_gflops(1e9, CORE_I7_4770K, threads=4)
+        assert got == pytest.approx(224.0)
+
+
+class TestGemmModel:
+    def test_single_thread_m16_matches_paper_scale(self):
+        """Paper fig 5(a): ~38 GFLOP/s max for m=16 single thread on i7."""
+        best = max(
+            gemm_model_gflops(16, 2**ke, 2**ne, CORE_I7_4770K, threads=1)
+            for ke in range(4, 13)
+            for ne in range(4, 13)
+        )
+        assert 25.0 < best < 60.0
+
+    def test_four_thread_m16_memory_bound(self):
+        """Paper fig 5(b): ~140 GFLOP/s max at 4 threads; our roofline gives
+        the same order (bandwidth-limited below peak 224)."""
+        best = max(
+            gemm_model_gflops(16, 2**ke, 2**ne, CORE_I7_4770K, threads=4)
+            for ke in range(4, 13)
+            for ne in range(4, 13)
+        )
+        assert 60.0 < best < 224.0
+
+    def test_variation_factor_across_shapes(self):
+        """Paper: performance varies by roughly a factor of 6 over the grid."""
+        grid = [
+            gemm_model_gflops(16, 2**ke, 2**ne, CORE_I7_4770K, threads=4)
+            for ke in range(4, 13)
+            for ne in range(4, 13)
+        ]
+        assert max(grid) / min(grid) > 4.0
+
+    def test_tiny_problem_is_slow(self):
+        assert gemm_model_gflops(2, 2, 2, CORE_I7_4770K) < 1.0
+
+    def test_nonnegative(self):
+        assert gemm_model_gflops(1, 1, 1, XEON_E7_4820) >= 0.0

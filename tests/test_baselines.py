@@ -1,0 +1,193 @@
+"""Tests for the baseline TTM implementations (Algorithm 1, CTF, table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    REPRESENTATIONS,
+    ttm_copy,
+    ttm_ctf_like,
+    ttm_fiber_form,
+    ttm_matricized_form,
+    ttm_scalar_form,
+    ttm_slice_form,
+)
+from repro.baselines.ctf_like import (
+    distribute_cyclic,
+    processor_grid,
+    undistribute_cyclic,
+)
+from repro.perf.profiler import PhaseProfiler
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
+from repro.util.errors import ShapeError
+from tests.helpers import TTM_CASES, ttm_oracle
+
+
+def _case(shape, j, mode, layout=ROW_MAJOR, seed=0):
+    rng = np.random.default_rng(seed)
+    x = DenseTensor(rng.standard_normal(shape), layout)
+    u = rng.standard_normal((j, shape[mode]))
+    return x, u
+
+
+class TestTtmCopy:
+    @pytest.mark.parametrize("shape,j,mode", TTM_CASES)
+    @pytest.mark.parametrize("layout", [ROW_MAJOR, COL_MAJOR])
+    def test_matches_oracle(self, shape, j, mode, layout):
+        x, u = _case(shape, j, mode, layout, seed=hash((shape, mode)) % 2**32)
+        y = ttm_copy(x, u, mode)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, mode))
+        assert y.layout is layout
+
+    def test_profiler_sees_transform_and_multiply(self):
+        x, u = _case((20, 20, 20), 4, 1)
+        prof = PhaseProfiler()
+        ttm_copy(x, u, 1, profiler=prof)
+        p = prof.profile
+        assert p.seconds["transform"] > 0
+        assert p.seconds["multiply"] > 0
+        # Transform buffers (X_mat + Y_mat) ~ half the charged storage.
+        assert 0.2 < p.space_fraction("transform") < 0.8
+
+    def test_transform_space_is_half_for_equal_output(self):
+        """When J = I_n the matricization buffers equal X + Y exactly."""
+        x, u = _case((12, 12, 12), 12, 1)
+        prof = PhaseProfiler()
+        ttm_copy(x, u, 1, profiler=prof)
+        # X_mat + Y_mat = X + Y; the only asymmetry is U's small footprint.
+        assert prof.profile.space_fraction("transform") == pytest.approx(
+            0.5, abs=0.02
+        )
+
+    def test_threaded_variant(self):
+        x, u = _case((10, 12, 14), 3, 1, seed=5)
+        y = ttm_copy(x, u, 1, threads=3)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, 1))
+
+    def test_validation(self):
+        x = DenseTensor.zeros((3, 4))
+        with pytest.raises(TypeError):
+            ttm_copy(np.zeros((3, 4)), np.zeros((2, 3)), 0)
+        with pytest.raises(ShapeError):
+            ttm_copy(x, np.zeros((2, 5)), 0)
+
+
+class TestCtfLike:
+    @pytest.mark.parametrize("shape,j,mode", TTM_CASES[:10])
+    def test_matches_oracle(self, shape, j, mode):
+        x, u = _case(shape, j, mode, seed=hash((shape, j)) % 2**32)
+        y = ttm_ctf_like(x, u, mode)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, mode))
+
+    @pytest.mark.parametrize("nproc", [1, 2, 4, 6, 8])
+    def test_any_processor_count(self, nproc):
+        x, u = _case((6, 7, 8), 3, 1, seed=6)
+        y = ttm_ctf_like(x, u, 1, nproc=nproc)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, 1))
+
+    def test_profiler_sees_redistribution(self):
+        x, u = _case((12, 12, 12), 4, 1)
+        prof = PhaseProfiler()
+        ttm_ctf_like(x, u, 1, profiler=prof)
+        p = prof.profile
+        assert p.seconds["redistribute"] > 0
+        assert p.seconds["transform"] > 0
+        assert p.seconds["multiply"] > 0
+
+    def test_col_major(self):
+        x, u = _case((5, 6, 7), 2, 2, COL_MAJOR, seed=7)
+        y = ttm_ctf_like(x, u, 2)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, 2))
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            ttm_ctf_like(np.zeros((3, 4)), np.zeros((2, 3)), 0)
+        with pytest.raises(ShapeError):
+            ttm_ctf_like(DenseTensor.zeros((3, 4)), np.zeros((2, 5)), 0)
+
+
+class TestProcessorGrid:
+    def test_factors_into_order_dims(self):
+        assert processor_grid(3, 8) == (2, 2, 2)
+        assert processor_grid(2, 6) == (2, 3)
+        assert processor_grid(3, 1) == (1, 1, 1)
+
+    def test_product_equals_nproc(self):
+        for order in (1, 2, 3, 4):
+            for nproc in (1, 2, 3, 4, 6, 12):
+                grid = processor_grid(order, nproc)
+                assert int(np.prod(grid)) == nproc
+
+    def test_distribute_undistribute_roundtrip(self):
+        rng = np.random.default_rng(8)
+        x = DenseTensor(rng.standard_normal((5, 6, 7)))
+        grid = processor_grid(3, 4)
+        blocks = distribute_cyclic(x, grid)
+        back = undistribute_cyclic(blocks, x.shape, grid, x.layout)
+        assert back.allclose(x.data)
+
+    def test_blocks_partition_all_elements(self):
+        x = DenseTensor(np.arange(24, dtype=float).reshape(2, 3, 4))
+        blocks = distribute_cyclic(x, (2, 1, 2))
+        assert sum(b.size for b in blocks) == 24
+        values = np.concatenate([b.ravel() for b in blocks])
+        assert sorted(values) == list(range(24))
+
+    def test_grid_rank_mismatch(self):
+        with pytest.raises(ShapeError):
+            distribute_cyclic(DenseTensor.zeros((2, 2)), (2, 1, 1))
+
+
+class TestRepresentations:
+    @pytest.mark.parametrize("name", list(REPRESENTATIONS))
+    def test_each_form_matches_oracle(self, name):
+        fn, _level, _transform = REPRESENTATIONS[name]
+        x, u = _case((4, 5, 3), 2, 0, seed=9)
+        y = fn(x, u, 0)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, 0))
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_fiber_form_all_modes(self, mode):
+        x, u = _case((4, 5, 6), 3, mode, seed=10)
+        y = ttm_fiber_form(x, u, mode)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, mode))
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_slice_form_all_modes(self, mode):
+        x, u = _case((4, 5, 6), 3, mode, seed=11)
+        y = ttm_slice_form(x, u, mode)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, mode))
+
+    def test_slice_form_custom_slice_mode(self):
+        x, u = _case((4, 5, 6), 3, 0, seed=12)
+        y = ttm_slice_form(x, u, 0, slice_mode=1)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, 0))
+
+    def test_slice_form_rejects_same_mode(self):
+        x, u = _case((4, 5, 6), 3, 0, seed=13)
+        with pytest.raises(ShapeError):
+            ttm_slice_form(x, u, 0, slice_mode=0)
+
+    def test_slice_form_rejects_order1(self):
+        x = DenseTensor.zeros((5,))
+        with pytest.raises(ShapeError):
+            ttm_slice_form(x, np.zeros((2, 5)), 0)
+
+    def test_scalar_form_col_major(self):
+        x, u = _case((3, 4, 2), 2, 1, COL_MAJOR, seed=14)
+        y = ttm_scalar_form(x, u, 1)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, 1))
+
+    def test_matricized_is_algorithm1(self):
+        x, u = _case((4, 5, 6), 3, 1, seed=15)
+        assert np.allclose(
+            ttm_matricized_form(x, u, 1).data, ttm_copy(x, u, 1).data
+        )
+
+    def test_table_metadata(self):
+        assert REPRESENTATIONS["scalar"][1] == "Slow"
+        assert REPRESENTATIONS["fiber"][1] == "L2"
+        assert REPRESENTATIONS["slice"][1] == "L3"
+        assert REPRESENTATIONS["matricized"][2] is True
+        assert REPRESENTATIONS["slice"][2] is False

@@ -1,0 +1,272 @@
+"""Tests for the two-level cache simulator and TTM traces."""
+
+import math
+
+import pytest
+
+from repro.cachesim import (
+    CacheModel,
+    Region,
+    copy_trace,
+    gemm_trace,
+    run_trace,
+    simulate_ttm_traffic,
+    ttm_copy_trace,
+    ttm_inplace_trace,
+)
+from repro.cachesim.trace import Mat
+from repro.cachesim.traffic import (
+    copy_vs_inplace_penalty,
+    tensor_storage_words,
+)
+from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
+from repro.util.errors import ShapeError
+
+
+class TestCacheModel:
+    def test_cold_miss_then_hit(self):
+        c = CacheModel(64, line_words=8)
+        assert not c.access(0)
+        assert c.access(1)  # same line
+        assert c.counters.hits == 1 and c.counters.misses == 1
+
+    def test_capacity_eviction_lru(self):
+        c = CacheModel(16, line_words=8)  # 2 lines, fully associative
+        c.access(0)
+        c.access(8)
+        c.access(0)   # touch line 0: now line 1 is LRU
+        c.access(16)  # evicts line 1
+        assert c.access(0)       # line 0 still resident
+        assert not c.access(8)   # line 1 was evicted
+
+    def test_writeback_counts_dirty_evictions(self):
+        c = CacheModel(16, line_words=8)
+        c.access(0, write=True)
+        c.access(8)
+        c.access(16)  # evicts dirty line 0
+        assert c.counters.writebacks == 1
+
+    def test_flush_writes_back_dirty(self):
+        c = CacheModel(64, line_words=8)
+        c.access(0, write=True)
+        c.access(8)
+        c.flush()
+        assert c.counters.writebacks == 1
+        c.flush()  # idempotent: lines now clean
+        assert c.counters.writebacks == 1
+
+    def test_words_moved_accounting(self):
+        c = CacheModel(64, line_words=8)
+        c.access(0)
+        c.access(64, write=True)
+        c.flush()
+        # two fills + one write-back, 8 words each
+        assert c.counters.words_moved == 3 * 8
+
+    def test_set_associative_mapping(self):
+        # 4 lines, 2-way: lines 0 and 2 share set 0; line 1 set 1.
+        c = CacheModel(32, line_words=8, associativity=2)
+        assert c.n_sets == 2 and c.ways == 2
+        c.access(0)    # line 0, set 0
+        c.access(16)   # line 2, set 0
+        c.access(32)   # line 4, set 0 -> evicts line 0
+        assert not c.access(0)
+
+    def test_reset(self):
+        c = CacheModel(64, line_words=8)
+        c.access(0)
+        c.reset()
+        assert c.counters.accesses == 0
+        assert not c.access(0)  # cold again
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheModel(0)
+        with pytest.raises(ValueError):
+            CacheModel(10, line_words=8)  # not a multiple
+        with pytest.raises(ValueError):
+            CacheModel(64, line_words=8, associativity=3)  # 8 lines % 3 != 0
+
+    def test_run_convenience(self):
+        c = CacheModel(64, line_words=8)
+        counters = c.run([(0, False), (1, True), (64, False)])
+        assert counters.accesses == 3
+        assert counters.miss_rate == pytest.approx(2 / 3)
+
+
+class TestRegion:
+    def test_addr_row_major(self):
+        r = Region(100, (3, 4, 5), ROW_MAJOR)
+        assert r.addr((0, 0, 0)) == 100
+        assert r.addr((1, 2, 3)) == 100 + 20 + 10 + 3
+
+    def test_addr_col_major(self):
+        r = Region(0, (3, 4, 5), COL_MAJOR)
+        assert r.addr((1, 2, 3)) == 1 + 2 * 3 + 3 * 12
+
+    def test_end(self):
+        assert Region(10, (2, 3)).end == 16
+
+    def test_matrix_view_strides(self):
+        r = Region(0, (3, 4, 5), ROW_MAJOR)
+        m = r.matrix((0,), (1, 2), {})
+        assert (m.rows, m.cols) == (3, 20)
+        assert (m.rstride, m.cstride) == (20, 1)
+        assert m.addr(1, 3) == 23
+
+    def test_matrix_view_with_fixed(self):
+        r = Region(0, (3, 4, 5), ROW_MAJOR)
+        m = r.matrix((0,), (2,), {1: 2})
+        assert m.base == 10
+        assert m.addr(2, 1) == 10 + 40 + 1
+
+    def test_addr_rank_mismatch(self):
+        with pytest.raises(ShapeError):
+            Region(0, (2, 2)).addr((0,))
+
+
+class TestGemmTrace:
+    def test_access_counts(self):
+        a = Mat(0, 2, 3, 3, 1)
+        b = Mat(6, 3, 4, 4, 1)
+        c = Mat(18, 2, 4, 4, 1)
+        events = list(gemm_trace(a, b, c, kc=64))
+        # 2 reads per (i,j,p) + 1 write per (i,j) per slab
+        assert len(events) == 2 * 2 * 3 * 4 + 2 * 4
+        reads = [e for e in events if not e[1]]
+        writes = [e for e in events if e[1]]
+        assert len(writes) == 8
+
+    def test_k_slabs_touch_c_repeatedly(self):
+        a = Mat(0, 1, 4, 4, 1)
+        b = Mat(4, 4, 1, 1, 1)
+        c = Mat(8, 1, 1, 1, 1)
+        events = list(gemm_trace(a, b, c, kc=2))
+        writes = [e for e in events if e[1]]
+        assert len(writes) == 2  # one per K slab
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            list(gemm_trace(Mat(0, 2, 3, 3, 1), Mat(0, 4, 4, 4, 1),
+                            Mat(0, 2, 4, 4, 1)))
+
+
+class TestCopyTrace:
+    def test_identity_copy_counts(self):
+        src = Region(0, (2, 3), ROW_MAJOR)
+        dst = Region(6, (2, 3), ROW_MAJOR)
+        events = list(copy_trace(src, dst))
+        assert len(events) == 12  # read + write per element
+        # Writes stream through destination addresses in order.
+        writes = [addr for addr, w in events if w]
+        assert writes == list(range(6, 12))
+
+    def test_permuted_copy_addresses(self):
+        src = Region(0, (2, 3), ROW_MAJOR)
+        dst = Region(6, (3, 2), ROW_MAJOR)
+        events = list(copy_trace(src, dst, perm=(1, 0)))
+        pairs = [(events[i][0], events[i + 1][0]) for i in range(0, 12, 2)]
+        # dst (j, i) <- src (i, j): dst addr 6 + j*2 + i, src addr i*3 + j.
+        for src_addr, dst_addr in pairs:
+            j, i = divmod(dst_addr - 6, 2)
+            assert src_addr == i * 3 + j
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            list(copy_trace(Region(0, (2, 3)), Region(6, (2, 2)), (1, 0)))
+
+
+class TestTtmTraces:
+    def test_copy_trace_total_accesses(self):
+        shape, j, mode = (4, 5, 6), 3, 1
+        events = list(ttm_copy_trace(shape, j, mode))
+        size = math.prod(shape)
+        rest = size // shape[mode]
+        gemm_reads = 2 * j * shape[mode] * rest
+        gemm_writes = j * rest  # single K slab
+        copies = 2 * size + 2 * j * rest  # unfold + fold, read+write each
+        assert len(events) == gemm_reads + gemm_writes + copies
+
+    def test_inplace_trace_has_no_transform_accesses(self):
+        shape, j, mode = (4, 5, 6), 3, 1
+        events = list(ttm_inplace_trace(shape, j, mode))
+        size = math.prod(shape)
+        rest = size // shape[mode]
+        assert len(events) == 2 * j * shape[mode] * rest + j * rest
+
+    def test_inplace_trace_stays_in_bounds(self):
+        shape, j, mode = (3, 4, 5), 2, 1
+        size = math.prod(shape)
+        total = size + j * shape[mode] + size // shape[mode] * j
+        for addr, _w in ttm_inplace_trace(shape, j, mode):
+            assert 0 <= addr < total
+
+    @pytest.mark.parametrize("layout", [ROW_MAJOR, COL_MAJOR])
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_traces_run_for_all_modes_layouts(self, layout, mode):
+        cache = CacheModel(256, line_words=8)
+        for method in ("copy", "inplace"):
+            report = simulate_ttm_traffic(
+                (3, 4, 5), 2, mode, cache, method, layout
+            )
+            assert report.words_moved > 0
+
+    def test_degree_validation(self):
+        with pytest.raises(ShapeError):
+            list(ttm_inplace_trace((3, 4, 5), 2, 1, degree=3))
+
+    def test_degree_zero_is_fiber_form(self):
+        events = list(ttm_inplace_trace((3, 4, 5), 2, 1, degree=0))
+        # Same flop-driven access count, just smaller inner kernels.
+        full = list(ttm_inplace_trace((3, 4, 5), 2, 1))
+        assert len(events) == len(full)
+
+
+class TestTrafficReports:
+    @pytest.fixture()
+    def cache(self):
+        return CacheModel(1024, line_words=8)
+
+    def test_inplace_beats_copy_on_words_moved(self, cache):
+        res = copy_vs_inplace_penalty((12, 12, 12), 4, 1, cache)
+        assert res["copy"].words_moved > res["inplace"].words_moved
+        assert res["measured_ratio"] > 1.0
+
+    def test_intensity_improves_in_place(self, cache):
+        res = copy_vs_inplace_penalty((12, 12, 12), 4, 1, cache)
+        assert res["inplace"].intensity > res["copy"].intensity
+
+    def test_flops_identical_between_methods(self, cache):
+        res = copy_vs_inplace_penalty((8, 8, 8), 4, 0, cache)
+        assert res["copy"].flops == res["inplace"].flops
+
+    def test_bigger_cache_moves_fewer_words(self):
+        small = CacheModel(256, line_words=8)
+        large = CacheModel(8192, line_words=8)
+        r_small = simulate_ttm_traffic((10, 10, 10), 4, 1, small, "inplace")
+        r_large = simulate_ttm_traffic((10, 10, 10), 4, 1, large, "inplace")
+        assert r_large.words_moved <= r_small.words_moved
+
+    def test_unknown_method_raises(self, cache):
+        with pytest.raises(ShapeError):
+            simulate_ttm_traffic((4, 4), 2, 0, cache, "magic")
+
+    def test_report_properties(self, cache):
+        rep = simulate_ttm_traffic((6, 6, 6), 2, 1, cache, "inplace")
+        assert rep.flops == 2 * 2 * 216
+        assert 0.0 <= rep.miss_rate <= 1.0
+
+
+class TestStorageWords:
+    def test_copy_storage_includes_buffers(self):
+        shape, j, mode = (10, 10, 10), 4, 1
+        copy = tensor_storage_words(shape, j, mode, "copy")
+        inplace = tensor_storage_words(shape, j, mode, "inplace")
+        assert copy == 2 * 1000 + 40 + 2 * 400
+        assert inplace == 1000 + 40 + 400
+        # Figure 4: transformation accounts for ~50% of total storage.
+        assert (copy - inplace) / copy == pytest.approx(0.5, abs=0.1)
+
+    def test_unknown_method(self):
+        with pytest.raises(ShapeError):
+            tensor_storage_words((4, 4), 2, 0, "magic")

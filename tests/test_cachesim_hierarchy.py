@@ -1,0 +1,102 @@
+"""Tests for the multi-level cache hierarchy."""
+
+import pytest
+
+from repro.cachesim import (
+    CacheHierarchy,
+    CacheModel,
+    typical_hierarchy,
+)
+from repro.cachesim.trace import ttm_copy_trace, ttm_inplace_trace
+from repro.util.errors import ShapeError
+
+
+def small_hierarchy():
+    return CacheHierarchy(
+        [
+            CacheModel(64, line_words=8),
+            CacheModel(256, line_words=8),
+            CacheModel(1024, line_words=8),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_depth(self):
+        assert small_hierarchy().depth == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            CacheHierarchy([])
+
+    def test_mismatched_lines_rejected(self):
+        with pytest.raises(ShapeError):
+            CacheHierarchy(
+                [CacheModel(64, line_words=8), CacheModel(256, line_words=4)]
+            )
+
+    def test_shrinking_levels_rejected(self):
+        with pytest.raises(ShapeError):
+            CacheHierarchy(
+                [CacheModel(256, line_words=8), CacheModel(64, line_words=8)]
+            )
+
+    def test_typical_hierarchy_builds(self):
+        h = typical_hierarchy()
+        assert h.depth == 3
+        assert h.levels[0].size_words < h.levels[-1].size_words
+
+
+class TestAccessSemantics:
+    def test_first_touch_misses_everywhere(self):
+        h = small_hierarchy()
+        assert h.access(0) == h.depth  # miss at all levels => memory
+
+    def test_second_touch_hits_l1(self):
+        h = small_hierarchy()
+        h.access(0)
+        assert h.access(1) == 0  # same line, L1 hit
+
+    def test_l1_eviction_keeps_line_in_l2(self):
+        h = small_hierarchy()
+        h.access(0)
+        # Stream enough distinct lines to evict line 0 from the 8-line L1
+        # but keep it inside the 32-line L2.
+        for line in range(1, 16):
+            h.access(line * 8)
+        assert h.access(0) == 1  # L1 miss, L2 hit
+
+    def test_hit_rates_shape(self):
+        h = small_hierarchy()
+        for addr in range(64):
+            h.access(addr)
+        rates = h.hit_rates()
+        assert len(rates) == 3
+        assert all(0.0 <= r <= 1.0 for r in rates)
+
+    def test_reset(self):
+        h = small_hierarchy()
+        h.access(0)
+        h.reset()
+        assert h.access(0) == h.depth
+
+
+class TestTrafficFiltering:
+    def test_memory_traffic_below_l1_traffic(self):
+        """Each level filters: words to DRAM <= words out of L1."""
+        h = small_hierarchy()
+        h.run(ttm_inplace_trace((10, 10, 10), 4, 1))
+        h.flush()
+        boundary = h.words_per_boundary()
+        assert boundary[-1] <= boundary[0]
+
+    def test_copy_ttm_pushes_more_to_memory_than_inplace(self):
+        """The figure-4 story holds at the DRAM boundary of a multi-level
+        hierarchy, not just in the two-level model."""
+        h1 = small_hierarchy()
+        h1.run(ttm_inplace_trace((12, 12, 12), 4, 1))
+        h1.flush()
+        h2 = small_hierarchy()
+        h2.run(ttm_copy_trace((12, 12, 12), 4, 1))
+        h2.flush()
+        assert h2.words_to_memory() > h1.words_to_memory()

@@ -1,0 +1,56 @@
+"""Tests for host calibration (bandwidth, peak, host platform)."""
+
+import pytest
+
+from repro.analysis.roofline import RooflinePlatform
+from repro.perf.calibrate import (
+    host_platform,
+    measure_bandwidth,
+    measure_peak_gflops,
+)
+
+
+class TestBandwidth:
+    def test_positive_and_plausible(self):
+        bw = measure_bandwidth(size_words=1_000_000, min_seconds=0.02)
+        assert 0.1 < bw < 10_000  # GB/s, sanity window
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_bandwidth(size_words=0)
+
+
+class TestPeak:
+    def test_positive_and_plausible(self):
+        rate = measure_peak_gflops(n=256, min_seconds=0.02)
+        assert 0.1 < rate < 10_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_peak_gflops(n=0)
+
+
+class TestHostPlatform:
+    def test_builds_consistent_platform(self):
+        platform = host_platform(gemm_n=256, stream_words=1_000_000)
+        assert isinstance(platform, RooflinePlatform)
+        assert platform.name.startswith("host:")
+        assert platform.peak_gflops > 0
+        assert platform.bandwidth_gbs > 0
+        assert platform.llc_bytes > 0
+        assert platform.cores >= 1
+        assert platform.threads_with_smt >= platform.cores
+
+    def test_usable_by_synthetic_profile_and_estimator(self):
+        from repro.core import InTensLi
+        from repro.gemm.bench import default_shape_grid, synthetic_profile
+
+        platform = host_platform(gemm_n=256, stream_words=500_000)
+        profile = synthetic_profile(
+            default_shape_grid(k_exponents=range(5, 10),
+                               n_exponents=range(5, 10)),
+            platform,
+        )
+        lib = InTensLi(profile=profile)
+        plan = lib.plan((40, 40, 40), 0, 8)
+        assert plan.degree >= 1

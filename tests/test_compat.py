@@ -1,0 +1,151 @@
+"""Tests for the Tensor Toolbox compatibility layer."""
+
+import numpy as np
+import pytest
+
+from repro import compat
+from repro.tensor.layout import COL_MAJOR
+from repro.util.errors import ShapeError
+from tests.helpers import ttm_oracle
+
+
+@pytest.fixture()
+def x3():
+    rng = np.random.default_rng(0)
+    return compat.tensor(rng.standard_normal((4, 5, 6)))
+
+
+class TestBasics:
+    def test_tensor_is_col_major(self, x3):
+        assert x3.layout is COL_MAJOR
+
+    def test_ndims_and_size(self, x3):
+        assert compat.ndims(x3) == 3
+        assert compat.size(x3) == (4, 5, 6)
+        assert compat.size(x3, 2) == 5  # 1-based
+
+    def test_size_mode_validation(self, x3):
+        with pytest.raises(ShapeError):
+            compat.size(x3, 0)
+        with pytest.raises(ShapeError):
+            compat.size(x3, 4)
+
+    def test_norm(self, x3):
+        assert compat.norm(x3) == pytest.approx(np.linalg.norm(x3.data))
+
+    def test_tenmat_matches_unfold(self, x3):
+        from repro.tensor.unfold import unfold
+
+        assert np.array_equal(compat.tenmat(x3, 1), unfold(x3, 0))
+        assert np.array_equal(compat.tenmat(x3, 3), unfold(x3, 2))
+
+
+class TestTtmSingle:
+    def test_one_based_mode(self, x3):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((3, 5))
+        y = compat.ttm(x3, a, 2)
+        assert np.allclose(y.data, ttm_oracle(x3.data, a, 1))
+
+    def test_transpose_flag(self, x3):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((5, 3))  # I_n x J with 't'
+        y = compat.ttm(x3, a, 2, "t")
+        assert np.allclose(y.data, ttm_oracle(x3.data, a.T, 1))
+
+    def test_missing_mode_raises(self, x3):
+        with pytest.raises(ShapeError):
+            compat.ttm(x3, np.zeros((2, 4)))
+
+    def test_bad_flag(self, x3):
+        with pytest.raises(ShapeError):
+            compat.ttm(x3, np.zeros((2, 4)), 1, "x")
+
+    def test_accepts_plain_arrays(self):
+        rng = np.random.default_rng(3)
+        raw = rng.standard_normal((4, 5))
+        a = rng.standard_normal((2, 4))
+        y = compat.ttm(raw, a, 1)
+        assert np.allclose(y.data, ttm_oracle(raw, a, 0))
+
+
+class TestTtmChains:
+    def oracle_chain(self, x, pairs):
+        out = x
+        for mode0, u in pairs:
+            out = ttm_oracle(out, u, mode0)
+        return out
+
+    def test_list_with_modes(self, x3):
+        rng = np.random.default_rng(4)
+        a1 = rng.standard_normal((2, 4))
+        a3 = rng.standard_normal((3, 6))
+        y = compat.ttm(x3, [a1, a3], [1, 3])
+        assert np.allclose(
+            y.data, self.oracle_chain(x3.data, [(0, a1), (2, a3)])
+        )
+
+    def test_all_modes_default(self, x3):
+        rng = np.random.default_rng(5)
+        mats = [rng.standard_normal((2, s)) for s in x3.shape]
+        y = compat.ttm(x3, mats)
+        assert np.allclose(
+            y.data, self.oracle_chain(x3.data, list(enumerate(mats)))
+        )
+
+    def test_negative_mode_excludes(self, x3):
+        rng = np.random.default_rng(6)
+        mats = [rng.standard_normal((2, s)) for s in x3.shape]
+        y = compat.ttm(x3, mats, -2)
+        assert np.allclose(
+            y.data,
+            self.oracle_chain(x3.data, [(0, mats[0]), (2, mats[2])]),
+        )
+
+    def test_negative_mode_with_reduced_list(self, x3):
+        rng = np.random.default_rng(7)
+        mats = [
+            rng.standard_normal((2, x3.shape[0])),
+            rng.standard_normal((2, x3.shape[2])),
+        ]
+        y = compat.ttm(x3, mats, -2)
+        assert np.allclose(
+            y.data,
+            self.oracle_chain(x3.data, [(0, mats[0]), (2, mats[1])]),
+        )
+
+    def test_chain_with_transpose_flag(self, x3):
+        rng = np.random.default_rng(8)
+        mats = [rng.standard_normal((s, 2)) for s in x3.shape]
+        y = compat.ttm(x3, mats, None, "t")
+        assert np.allclose(
+            y.data,
+            self.oracle_chain(
+                x3.data, [(m, u.T) for m, u in enumerate(mats)]
+            ),
+        )
+
+    def test_mismatched_lengths(self, x3):
+        with pytest.raises(ShapeError):
+            compat.ttm(x3, [np.zeros((2, 4))], [1, 2])
+
+
+class TestTtv:
+    def test_contracts_mode_away(self, x3):
+        rng = np.random.default_rng(9)
+        v = rng.standard_normal(5)
+        y = compat.ttv(x3, v, 2)
+        expect = np.einsum("ijk,j->ik", x3.data, v)
+        assert y.shape == (4, 6)
+        assert np.allclose(y.data, expect)
+
+    def test_scalar_result_for_vector(self):
+        v_tensor = compat.tensor(np.arange(4.0))
+        result = compat.ttv(v_tensor, np.ones(4), 1)
+        assert result == pytest.approx(6.0)
+
+    def test_validation(self, x3):
+        with pytest.raises(ShapeError):
+            compat.ttv(x3, np.ones((2, 2)), 1)
+        with pytest.raises(ShapeError):
+            compat.ttv(x3, np.ones(4), 2)

@@ -1,0 +1,161 @@
+"""Tests for the InTensLi facade and top-level repro.ttm."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import XEON_E7_4820
+from repro.core import InTensLi
+from repro.gemm.bench import synthetic_profile
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
+from repro.util.errors import ShapeError
+from tests.helpers import ttm_oracle
+
+
+class TestConstruction:
+    def test_default_builds_synthetic_profile(self):
+        lib = InTensLi()
+        assert lib.profile.meta["source"] == "synthetic"
+
+    def test_measured_profile_option(self):
+        lib = InTensLi(benchmark="measure", benchmark_j=(4,))
+        assert lib.profile.meta["source"] == "measured"
+
+    def test_calibrated_profile_option(self):
+        lib = InTensLi(benchmark="calibrate", benchmark_j=(4,))
+        assert lib.profile.meta["source"] == "synthetic"
+        assert lib.profile.meta["platform"].startswith("host:")
+        assert lib.plan((20, 20, 20), 0, 4).degree >= 1
+
+    def test_explicit_profile_respected(self):
+        profile = synthetic_profile([(16, 64, 64)] , XEON_E7_4820)
+        lib = InTensLi(profile=profile)
+        assert lib.profile is profile
+
+    def test_invalid_options(self):
+        with pytest.raises(ShapeError):
+            InTensLi(benchmark="nope")
+        with pytest.raises(ShapeError):
+            InTensLi(executor="nope")
+        with pytest.raises(ValueError):
+            InTensLi(max_threads=0)
+
+
+class TestPlanning:
+    def test_plans_are_cached(self):
+        lib = InTensLi()
+        p1 = lib.plan((20, 20, 20), 0, 4)
+        p2 = lib.plan((20, 20, 20), 0, 4)
+        assert p1 is p2
+        assert lib.cached_plans == 1
+
+    def test_distinct_inputs_distinct_plans(self):
+        lib = InTensLi()
+        lib.plan((20, 20, 20), 0, 4)
+        lib.plan((20, 20, 20), 1, 4)
+        lib.plan((20, 20, 20), 0, 8)
+        assert lib.cached_plans == 3
+
+    def test_layout_part_of_key(self):
+        lib = InTensLi()
+        p_c = lib.plan((20, 20, 20), 1, 4, ROW_MAJOR)
+        p_f = lib.plan((20, 20, 20), 1, 4, COL_MAJOR)
+        assert p_c is not p_f
+        assert p_f.layout is COL_MAJOR
+
+
+class TestExecution:
+    @pytest.mark.parametrize("executor", ["generated", "interpreted"])
+    @pytest.mark.parametrize("layout", [ROW_MAJOR, COL_MAJOR])
+    def test_ttm_matches_oracle(self, executor, layout):
+        rng = np.random.default_rng(22)
+        lib = InTensLi(executor=executor, max_threads=2)
+        x = DenseTensor(rng.standard_normal((6, 7, 8)), layout)
+        u = rng.standard_normal((3, 7))
+        y = lib.ttm(x, u, 1)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, 1))
+
+    def test_ttm_accepts_raw_ndarray(self):
+        rng = np.random.default_rng(23)
+        lib = InTensLi()
+        x = rng.standard_normal((5, 6, 7))
+        u = rng.standard_normal((2, 6))
+        y = lib.ttm(x, u, 1)
+        assert np.allclose(y.data, ttm_oracle(x, u, 1))
+
+    def test_ttm_writes_into_out(self):
+        rng = np.random.default_rng(24)
+        lib = InTensLi()
+        x = DenseTensor(rng.standard_normal((5, 6, 7)))
+        u = rng.standard_normal((2, 6))
+        out = DenseTensor.empty((5, 2, 7))
+        buf = out.data
+        result = lib.ttm(x, u, 1, out=out)
+        assert result is out and out.data is buf
+        assert np.allclose(out.data, ttm_oracle(x.data, u, 1))
+
+    def test_execute_validates_geometry(self):
+        lib = InTensLi()
+        plan = lib.plan((5, 6, 7), 1, 2)
+        x_bad = DenseTensor.zeros((5, 6, 8))
+        with pytest.raises(ShapeError):
+            lib.execute(plan, x_bad, np.zeros((2, 6)))
+        x = DenseTensor.zeros((5, 6, 7))
+        with pytest.raises(ShapeError):
+            lib.execute(plan, x, np.zeros((2, 9)))
+        with pytest.raises(ShapeError):
+            lib.execute(plan, x, np.zeros((2, 6)),
+                        out=DenseTensor.zeros((5, 3, 7)))
+
+    def test_u_must_be_2d(self):
+        lib = InTensLi()
+        with pytest.raises(ShapeError):
+            lib.ttm(DenseTensor.zeros((4, 4)), np.zeros(4), 0)
+
+
+class TestTune:
+    def test_tune_pins_measured_best(self):
+        rng = np.random.default_rng(30)
+        lib = InTensLi()
+        x = DenseTensor(rng.standard_normal((10, 10, 10, 10)))
+        u = rng.standard_normal((4, 10))
+        best = lib.tune(x, u, 0, min_seconds=0.002)
+        # The pinned plan is now what .plan() returns for this signature.
+        assert lib.plan(x.shape, 0, 4) == best
+        # And execution through the facade still matches the oracle.
+        y = lib.ttm(x, u, 0)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, 0))
+
+    def test_tuned_plan_survives_cache_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(31)
+        lib = InTensLi()
+        x = DenseTensor(rng.standard_normal((8, 8, 8)))
+        u = rng.standard_normal((3, 8))
+        best = lib.tune(x, u, 0, min_seconds=0.002)
+        path = tmp_path / "tuned.json"
+        lib.save_plan_cache(str(path))
+        fresh = InTensLi()
+        fresh.load_plan_cache(str(path))
+        assert fresh.plan(x.shape, 0, 3) == best
+
+    def test_tune_validates_u(self):
+        lib = InTensLi()
+        with pytest.raises(ShapeError):
+            lib.tune(DenseTensor.zeros((4, 4)), np.zeros(4), 0)
+
+
+class TestTopLevelApi:
+    def test_repro_ttm(self):
+        rng = np.random.default_rng(25)
+        x = repro.DenseTensor(rng.standard_normal((4, 5, 6)))
+        u = rng.standard_normal((2, 5))
+        y = repro.ttm(x, u, 1)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, 1))
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"

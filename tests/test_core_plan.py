@@ -1,0 +1,186 @@
+"""Tests for TtmPlan validation and derived geometry."""
+
+import pytest
+
+from repro.core.plan import Strategy, TtmPlan
+from repro.tensor.layout import COL_MAJOR, ROW_MAJOR, Layout
+from repro.util.errors import PlanError
+
+
+def make_plan(**overrides):
+    base = dict(
+        shape=(4, 5, 6, 7),
+        mode=1,
+        j=3,
+        layout=ROW_MAJOR,
+        strategy=Strategy.FORWARD,
+        component_modes=(2, 3),
+        loop_modes=(0,),
+    )
+    base.update(overrides)
+    return TtmPlan(**base)
+
+
+class TestStrategy:
+    def test_natural_for_layouts(self):
+        assert Strategy.natural_for(Layout.ROW_MAJOR) is Strategy.FORWARD
+        assert Strategy.natural_for(Layout.COL_MAJOR) is Strategy.BACKWARD
+
+
+class TestValidation:
+    def test_valid_plan_constructs(self):
+        plan = make_plan()
+        assert plan.degree == 2
+
+    def test_mode_out_of_range(self):
+        with pytest.raises(PlanError):
+            make_plan(mode=4)
+
+    def test_j_must_be_positive(self):
+        with pytest.raises(PlanError):
+            make_plan(j=0)
+
+    def test_threads_must_be_positive(self):
+        with pytest.raises(PlanError):
+            make_plan(loop_threads=0)
+
+    def test_overlapping_modes(self):
+        with pytest.raises(PlanError):
+            make_plan(component_modes=(2, 3), loop_modes=(0, 2))
+
+    def test_mode_in_component_set(self):
+        with pytest.raises(PlanError):
+            make_plan(component_modes=(1, 2, 3), loop_modes=(0,))
+
+    def test_incomplete_cover(self):
+        with pytest.raises(PlanError):
+            make_plan(component_modes=(3,), loop_modes=(0,))
+
+    def test_non_consecutive_components(self):
+        with pytest.raises(PlanError):
+            make_plan(
+                shape=(4, 5, 6, 7, 8), mode=1,
+                component_modes=(2, 4), loop_modes=(0, 3),
+            )
+
+    def test_forward_requires_rightmost_run(self):
+        # (2,) alone does not extend to the last mode — illegal forward M_C.
+        with pytest.raises(PlanError):
+            make_plan(component_modes=(2,), loop_modes=(0, 3))
+
+    def test_forward_component_must_follow_mode(self):
+        with pytest.raises(PlanError):
+            make_plan(
+                mode=3, component_modes=(2,), loop_modes=(0, 1),
+            )
+
+    def test_backward_requires_leftmost_run(self):
+        plan = make_plan(
+            mode=2,
+            layout=COL_MAJOR,
+            strategy=Strategy.BACKWARD,
+            component_modes=(0, 1),
+            loop_modes=(3,),
+        )
+        assert plan.degree == 2
+        with pytest.raises(PlanError):
+            make_plan(
+                mode=2,
+                layout=COL_MAJOR,
+                strategy=Strategy.BACKWARD,
+                component_modes=(1,),
+                loop_modes=(0, 3),
+            )
+
+    def test_empty_component_set_allowed(self):
+        plan = make_plan(component_modes=(), loop_modes=(0, 2, 3))
+        assert plan.degree == 0
+        assert plan.component_extent == 1
+
+
+class TestDerivedGeometry:
+    def test_out_shape_replaces_mode(self):
+        assert make_plan().out_shape == (4, 3, 6, 7)
+
+    def test_kernel_shape_forward(self):
+        # Y_sub (J x P) = U (J x I_n) @ X_sub (I_n x P), P = 6*7.
+        assert make_plan().kernel_shape == (3, 5, 42)
+
+    def test_kernel_shape_backward(self):
+        plan = make_plan(
+            mode=2,
+            layout=COL_MAJOR,
+            strategy=Strategy.BACKWARD,
+            component_modes=(0, 1),
+            loop_modes=(3,),
+        )
+        # Y_sub (P x J) = X_sub (P x I_n) @ U^T, P = 4*5.
+        assert plan.kernel_shape == (20, 6, 3)
+
+    def test_loop_extents_and_iterations(self):
+        plan = make_plan(component_modes=(3,), loop_modes=(0, 2))
+        assert plan.loop_extents == (4, 6)
+        assert plan.loop_iterations == 24
+
+    def test_kernel_working_set(self):
+        plan = make_plan()
+        m, k, n = plan.kernel_shape
+        assert plan.kernel_working_set_bytes == 8 * (m * k + k * n + m * n)
+
+    def test_total_flops_matches_definition(self):
+        plan = make_plan()
+        assert plan.total_flops == 2 * plan.j * 4 * 5 * 6 * 7
+
+    def test_describe_mentions_key_fields(self):
+        text = make_plan().describe()
+        assert "mode=1" in text and "M_C=(2,3)" in text and "forward" in text
+
+    def test_cache_key(self):
+        plan = make_plan()
+        assert plan.cache_key() == ((4, 5, 6, 7), 1, 3, ROW_MAJOR)
+
+    def test_plans_are_hashable(self):
+        assert len({make_plan(), make_plan()}) == 1
+
+
+class TestViewsBlasLegal:
+    def test_natural_forward_row_major_is_legal(self):
+        assert make_plan().views_blas_legal
+
+    def test_natural_backward_col_major_is_legal(self):
+        plan = make_plan(
+            mode=2, layout=COL_MAJOR, strategy=Strategy.BACKWARD,
+            component_modes=(0, 1), loop_modes=(3,),
+        )
+        assert plan.views_blas_legal
+
+    def test_cross_strategy_on_leading_mode_is_legal(self):
+        # Backward on the last row-major mode: mode carries unit stride.
+        plan = make_plan(
+            mode=3, strategy=Strategy.BACKWARD,
+            component_modes=(0, 1), loop_modes=(2,),
+        )
+        assert plan.views_blas_legal
+
+    def test_wrong_side_merge_is_general_stride(self):
+        # Backward strategy on a middle mode of a row-major tensor: the
+        # merged run excludes the leading mode -> both strides non-unit.
+        plan = make_plan(
+            mode=2, strategy=Strategy.BACKWARD,
+            component_modes=(0, 1), loop_modes=(3,),
+        )
+        assert not plan.views_blas_legal
+
+    def test_degree_zero_vacuously_legal(self):
+        plan = make_plan(component_modes=(), loop_modes=(0, 2, 3))
+        assert plan.views_blas_legal
+
+    def test_estimator_never_emits_illegal_blas_plans(self):
+        from repro.core.estimator import ParameterEstimator
+
+        est = ParameterEstimator(max_threads=2)
+        for layout in (ROW_MAJOR, COL_MAJOR):
+            for mode in range(4):
+                plan = est.estimate((10, 11, 12, 13), mode, 4, layout)
+                if plan.kernel == "blas":
+                    assert plan.views_blas_legal

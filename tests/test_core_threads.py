@@ -1,0 +1,114 @@
+"""Tests for thread allocation (the PTH rule) and the parfor substrate."""
+
+import threading
+
+import pytest
+
+from repro.core.threads import (
+    DEFAULT_PTH_BYTES,
+    ThreadAllocation,
+    allocate_threads,
+)
+from repro.parallel import iter_index_space, parfor
+
+
+class TestThreadAllocation:
+    def test_default_pth_is_800kb(self):
+        assert DEFAULT_PTH_BYTES == 800 * 1024
+
+    def test_small_kernel_gets_loop_threads(self):
+        alloc = allocate_threads(100 * 1024, max_threads=8)
+        assert alloc.loop_threads == 8
+        assert alloc.kernel_threads == 1
+
+    def test_large_kernel_gets_kernel_threads(self):
+        alloc = allocate_threads(2 * 1024**2, max_threads=8)
+        assert alloc.loop_threads == 1
+        assert alloc.kernel_threads == 8
+
+    def test_boundary_is_kernel_side(self):
+        alloc = allocate_threads(DEFAULT_PTH_BYTES, max_threads=4)
+        assert alloc.kernel_threads == 4
+
+    def test_loop_iterations_cap(self):
+        # Only 2 loop iterations: surplus threads flow to the kernel.
+        alloc = allocate_threads(1024, max_threads=8, loop_iterations=2)
+        assert alloc.loop_threads == 2
+        assert alloc.kernel_threads == 4
+
+    def test_single_iteration_forces_kernel_side(self):
+        alloc = allocate_threads(1024, max_threads=8, loop_iterations=1)
+        assert alloc.loop_threads == 1
+        assert alloc.kernel_threads == 8
+
+    def test_single_thread_budget(self):
+        alloc = allocate_threads(1024, max_threads=1)
+        assert alloc == ThreadAllocation(1, 1)
+
+    def test_custom_pth(self):
+        alloc = allocate_threads(1024, max_threads=4, pth_bytes=512)
+        assert alloc.kernel_threads == 4  # 1024 >= 512: kernel side
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allocate_threads(-1, 4)
+        with pytest.raises(ValueError):
+            allocate_threads(10, 0)
+        with pytest.raises(ValueError):
+            allocate_threads(10, 4, loop_iterations=0)
+
+    def test_total(self):
+        assert ThreadAllocation(2, 3).total == 6
+
+
+class TestIterIndexSpace:
+    def test_odometer_order(self):
+        assert list(iter_index_space((2, 3))) == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)
+        ]
+
+    def test_empty_extents_yield_one_empty_tuple(self):
+        assert list(iter_index_space(())) == [()]
+
+    def test_zero_extent_yields_nothing(self):
+        assert list(iter_index_space((2, 0))) == []
+
+
+class TestParfor:
+    def test_serial_visits_every_index(self):
+        seen = []
+        count = parfor((2, 3), seen.append, threads=1)
+        assert count == 6
+        assert sorted(seen) == sorted(iter_index_space((2, 3)))
+
+    def test_parallel_visits_every_index_once(self):
+        seen = []
+        lock = threading.Lock()
+
+        def body(index):
+            with lock:
+                seen.append(index)
+
+        count = parfor((4, 5), body, threads=3)
+        assert count == 20
+        assert sorted(seen) == sorted(iter_index_space((4, 5)))
+
+    def test_zero_iterations(self):
+        assert parfor((0, 5), lambda i: None, threads=2) == 0
+
+    def test_empty_extents_run_body_once(self):
+        seen = []
+        assert parfor((), seen.append, threads=1) == 1
+        assert seen == [()]
+
+    def test_worker_exception_propagates(self):
+        def body(index):
+            if index == (1,):
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            parfor((4,), body, threads=2)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            parfor((2,), lambda i: None, threads=0)

@@ -1,0 +1,90 @@
+"""Tests for plan enumeration and the exhaustive tuner (figure 12)."""
+
+import numpy as np
+import pytest
+
+from repro.core.inttm import ttm_inplace
+from repro.core.tuner import ExhaustiveTuner, enumerate_plans
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
+from tests.helpers import ttm_oracle
+
+
+class TestEnumeratePlans:
+    def test_single_thread_space_is_degrees(self):
+        plans = enumerate_plans((10, 10, 10, 10, 10), 0, 4, ROW_MAJOR, 1)
+        assert len(plans) == 4  # degrees 1..4
+        assert sorted(p.degree for p in plans) == [1, 2, 3, 4]
+
+    def test_multi_thread_space_doubles(self):
+        plans = enumerate_plans((10, 10, 10, 10, 10), 0, 4, ROW_MAJOR, 8)
+        assert len(plans) == 8  # 4 degrees x 2 allocations
+        allocations = {(p.loop_threads, p.kernel_threads) for p in plans}
+        assert allocations == {(8, 1), (1, 8)}
+
+    def test_paper_sized_space(self):
+        """Mode-1 (0-based: 0) on a 5th-order tensor with 2 kernels x
+        2 allocations x 4 degrees = 16 configs, the paper's count."""
+        plans = enumerate_plans(
+            (10,) * 5, 0, 4, ROW_MAJOR, 8, kernels=("blas", "blocked")
+        )
+        assert len(plans) == 16
+
+    def test_last_mode_enumerates_backward_plans(self):
+        plans = enumerate_plans((10, 10, 10), 2, 4, ROW_MAJOR, 1)
+        assert sorted(p.degree for p in plans) == [1, 2]
+        assert all(p.component_modes[0] == 0 for p in plans)
+
+    def test_order1_gives_fiber_plan(self):
+        plans = enumerate_plans((10,), 0, 4, ROW_MAJOR, 1)
+        assert len(plans) == 1
+        assert plans[0].degree == 0
+
+    def test_col_major_enumeration(self):
+        plans = enumerate_plans((10, 10, 10), 2, 4, COL_MAJOR, 1)
+        assert sorted(p.degree for p in plans) == [1, 2]
+
+    def test_all_enumerated_plans_execute_correctly(self):
+        rng = np.random.default_rng(20)
+        shape, j, mode = (5, 6, 4, 3), 2, 1
+        x = DenseTensor(rng.standard_normal(shape), ROW_MAJOR)
+        u = rng.standard_normal((j, shape[mode]))
+        expect = ttm_oracle(x.data, u, mode)
+        for plan in enumerate_plans(shape, mode, j, ROW_MAJOR, 2,
+                                    kernels=("blas", "blocked")):
+            y = ttm_inplace(x, u, plan=plan)
+            assert np.allclose(y.data, expect), plan.describe()
+
+
+class TestExhaustiveTuner:
+    @pytest.fixture()
+    def swept(self):
+        rng = np.random.default_rng(21)
+        shape, j, mode = (8, 8, 8, 8), 4, 0
+        x = DenseTensor(rng.standard_normal(shape), ROW_MAJOR)
+        u = rng.standard_normal((j, shape[mode]))
+        tuner = ExhaustiveTuner(min_seconds=0.002, min_repeats=1)
+        return tuner.sweep(x, u, mode)
+
+    def test_sweep_times_every_candidate(self, swept):
+        assert len(swept.seconds) == len(swept.plans) == 3
+        assert all(s > 0 for s in swept.seconds)
+
+    def test_best_plan_has_min_time(self, swept):
+        assert swept.seconds[swept.best_index] == min(swept.seconds)
+        assert swept.best_plan is swept.plans[swept.best_index]
+
+    def test_best_gflops_consistent(self, swept):
+        assert swept.best_gflops == pytest.approx(
+            swept.flops / swept.seconds[swept.best_index] / 1e9
+        )
+
+    def test_gflops_of_specific_plan(self, swept):
+        plan = swept.plans[0]
+        assert swept.gflops_of(plan) == pytest.approx(
+            swept.flops / swept.seconds[0] / 1e9
+        )
+
+    def test_table_sorted_descending(self, swept):
+        rates = [rate for _desc, rate in swept.table()]
+        assert rates == sorted(rates, reverse=True)

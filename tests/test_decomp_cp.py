@@ -1,0 +1,203 @@
+"""Tests for MTTKRP and CP-ALS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decomp.cp import (
+    CpResult,
+    cp_als,
+    cp_reconstruct,
+    khatri_rao,
+    mttkrp,
+    mttkrp_inplace,
+)
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
+from repro.util.errors import ShapeError
+
+
+def mttkrp_oracle(x: np.ndarray, factors, mode: int) -> np.ndarray:
+    """Definitional MTTKRP: contract every non-mode index with its factor."""
+    rank = factors[0].shape[1]
+    out = np.zeros((x.shape[mode], rank))
+    for r in range(rank):
+        w = x
+        # Contract trailing modes first so earlier indices stay put.
+        for m in reversed(range(x.ndim)):
+            if m == mode:
+                continue
+            w = np.tensordot(w, factors[m][:, r], axes=(m, 0))
+        out[:, r] = w
+    return out
+
+
+def random_factors(shape, rank, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((s, rank)) for s in shape]
+
+
+class TestKhatriRao:
+    def test_two_matrices_definition(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[5.0, 6.0], [7.0, 8.0], [9.0, 10.0]])
+        kr = khatri_rao([a, b])
+        assert kr.shape == (6, 2)
+        # Row (i=1, j=2) = a[1] * b[2]; the last matrix varies fastest.
+        assert np.allclose(kr[1 * 3 + 2], a[1] * b[2])
+
+    def test_single_matrix_identity(self):
+        a = np.random.default_rng(0).standard_normal((4, 3))
+        assert np.array_equal(khatri_rao([a]), a)
+
+    def test_associativity(self):
+        rng = np.random.default_rng(1)
+        mats = [rng.standard_normal((n, 2)) for n in (2, 3, 4)]
+        left = khatri_rao([khatri_rao(mats[:2]), mats[2]])
+        flat = khatri_rao(mats)
+        assert np.allclose(left, flat)
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            khatri_rao([np.zeros((2, 2)), np.zeros((2, 3))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            khatri_rao([])
+
+
+class TestMttkrp:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    @pytest.mark.parametrize("layout", [ROW_MAJOR, COL_MAJOR])
+    def test_conventional_matches_oracle(self, mode, layout):
+        rng = np.random.default_rng(2)
+        shape, rank = (4, 5, 6), 3
+        x = DenseTensor(rng.standard_normal(shape), layout)
+        factors = random_factors(shape, rank, seed=3)
+        got = mttkrp(x, factors, mode)
+        assert np.allclose(got, mttkrp_oracle(x.data, factors, mode))
+
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    @pytest.mark.parametrize("layout", [ROW_MAJOR, COL_MAJOR])
+    def test_inplace_matches_oracle_order4(self, mode, layout):
+        rng = np.random.default_rng(4)
+        shape, rank = (3, 4, 2, 5), 2
+        x = DenseTensor(rng.standard_normal(shape), layout)
+        factors = random_factors(shape, rank, seed=5)
+        got = mttkrp_inplace(x, factors, mode)
+        assert np.allclose(got, mttkrp_oracle(x.data, factors, mode))
+
+    def test_inplace_matches_conventional(self):
+        rng = np.random.default_rng(6)
+        shape, rank = (6, 5, 4), 4
+        x = DenseTensor(rng.standard_normal(shape))
+        factors = random_factors(shape, rank, seed=7)
+        for mode in range(3):
+            assert np.allclose(
+                mttkrp_inplace(x, factors, mode), mttkrp(x, factors, mode)
+            )
+
+    def test_order2_is_plain_gemm(self):
+        rng = np.random.default_rng(8)
+        x = DenseTensor(rng.standard_normal((5, 7)))
+        factors = random_factors((5, 7), 3, seed=9)
+        got = mttkrp_inplace(x, factors, 0)
+        assert np.allclose(got, x.data @ factors[1])
+
+    def test_order1(self):
+        x = DenseTensor(np.arange(4, dtype=float))
+        factors = [np.ones((4, 2))]
+        got = mttkrp_inplace(x, factors, 0)
+        assert np.allclose(got, np.arange(4)[:, None] * np.ones((1, 2)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shape=st.lists(st.integers(2, 4), min_size=2, max_size=4),
+        rank=st.integers(1, 3),
+        data=st.data(),
+    )
+    def test_property_inplace_equals_oracle(self, shape, rank, data):
+        mode = data.draw(st.integers(0, len(shape) - 1))
+        layout = data.draw(st.sampled_from([ROW_MAJOR, COL_MAJOR]))
+        rng = np.random.default_rng(10)
+        x = DenseTensor(rng.standard_normal(shape), layout)
+        factors = random_factors(shape, rank, seed=11)
+        got = mttkrp_inplace(x, factors, mode)
+        assert np.allclose(got, mttkrp_oracle(x.data, factors, mode))
+
+    def test_validation(self):
+        x = DenseTensor.zeros((3, 4))
+        with pytest.raises(TypeError):
+            mttkrp(np.zeros((3, 4)), [np.zeros((3, 2))] * 2, 0)
+        with pytest.raises(ShapeError):
+            mttkrp(x, [np.zeros((3, 2))], 0)  # wrong factor count
+        with pytest.raises(ShapeError):
+            mttkrp(x, [np.zeros((3, 2)), np.zeros((5, 2))], 0)
+
+
+def planted_cp_tensor(shape, rank, seed=0):
+    rng = np.random.default_rng(seed)
+    factors = [rng.standard_normal((s, rank)) for s in shape]
+    result = CpResult(weights=np.ones(rank), factors=factors, fit=1.0)
+    return cp_reconstruct(result), factors
+
+
+class TestCpAls:
+    def test_recovers_planted_rank1(self):
+        x, _ = planted_cp_tensor((8, 9, 7), 1, seed=12)
+        result = cp_als(x, 1, max_iterations=50)
+        assert result.fit > 0.999
+
+    def test_recovers_planted_rank3(self):
+        x, _ = planted_cp_tensor((10, 9, 8), 3, seed=13)
+        result = cp_als(x, 3, max_iterations=200, tolerance=1e-12)
+        assert result.fit > 0.99
+
+    def test_fit_non_decreasing(self):
+        x, _ = planted_cp_tensor((6, 7, 5), 2, seed=14)
+        result = cp_als(x, 2, max_iterations=20, tolerance=0.0)
+        fits = result.fit_history
+        assert all(b >= a - 1e-9 for a, b in zip(fits, fits[1:]))
+
+    def test_backends_agree(self):
+        x, _ = planted_cp_tensor((6, 5, 4), 2, seed=15)
+        a = cp_als(x, 2, max_iterations=5, tolerance=0.0,
+                   mttkrp_backend=mttkrp_inplace)
+        b = cp_als(x, 2, max_iterations=5, tolerance=0.0,
+                   mttkrp_backend=mttkrp)
+        assert a.fit == pytest.approx(b.fit, abs=1e-10)
+
+    def test_factors_are_normalized(self):
+        x, _ = planted_cp_tensor((6, 5, 4), 2, seed=16)
+        result = cp_als(x, 2, max_iterations=5)
+        for f in result.factors:
+            assert np.allclose(np.linalg.norm(f, axis=0), 1.0)
+
+    def test_reconstruction_error_matches_fit(self):
+        x, _ = planted_cp_tensor((6, 5, 4), 2, seed=17)
+        result = cp_als(x, 2, max_iterations=30, tolerance=1e-12)
+        recon = cp_reconstruct(result)
+        rel = np.linalg.norm(recon.data - x.data) / np.linalg.norm(x.data)
+        assert rel == pytest.approx(1.0 - result.fit, abs=1e-6)
+
+    def test_order4(self):
+        x, _ = planted_cp_tensor((5, 4, 3, 4), 2, seed=18)
+        result = cp_als(x, 2, max_iterations=100, tolerance=1e-12)
+        assert result.fit > 0.98
+
+    def test_validation(self):
+        x = DenseTensor.zeros((3, 4))
+        with pytest.raises(ShapeError):
+            cp_als(x, 0)
+        with pytest.raises(ShapeError):
+            cp_als(x, 2, max_iterations=0)
+        with pytest.raises(TypeError):
+            cp_als(np.zeros((3, 4)), 2)
+
+    def test_result_fields(self):
+        x, _ = planted_cp_tensor((4, 4, 4), 2, seed=19)
+        result = cp_als(x, 2, max_iterations=3, tolerance=0.0)
+        assert result.rank == 2
+        assert result.iterations == 3
+        assert len(result.fit_history) == 3

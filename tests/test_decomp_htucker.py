@@ -1,0 +1,118 @@
+"""Tests for the hierarchical Tucker decomposition."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.decomp.htucker import HTucker, ht_error, ht_reconstruct, ht_svd
+from repro.tensor.dense import DenseTensor
+from repro.tensor.generate import low_rank_tensor, random_tensor
+from repro.util.errors import ShapeError
+
+
+class TestHtSvd:
+    @pytest.mark.parametrize("shape", [(4, 5), (4, 5, 6), (3, 4, 3, 4),
+                                       (2, 3, 2, 3, 2)])
+    def test_exact_at_full_rank(self, shape):
+        x = random_tensor(shape, seed=0)
+        ht = ht_svd(x, max_rank=64)
+        assert ht_error(x, ht) < 1e-10
+
+    def test_rank_caps_respected(self):
+        x = random_tensor((5, 6, 7, 4), seed=1)
+        ht = ht_svd(x, max_rank=3)
+        for span, rank in ht.ranks().items():
+            if len(span) == 4:
+                continue  # root rank is 1 by construction
+            assert rank <= 3
+
+    def test_root_rank_is_one(self):
+        x = random_tensor((4, 4, 4), seed=2)
+        ht = ht_svd(x, max_rank=2)
+        assert ht.root.rank == 1
+        assert ht.root.transfer.ndim == 2
+
+    def test_low_rank_tensor_recovers_losslessly(self):
+        x = low_rank_tensor((8, 8, 8, 8), 2, seed=3)
+        ht = ht_svd(x, max_rank=4)
+        assert ht_error(x, ht) < 1e-7
+
+    def test_error_decreases_with_rank(self):
+        x = random_tensor((6, 6, 6, 6), seed=4)
+        errors = [ht_error(x, ht_svd(x, max_rank=r)) for r in (1, 2, 4, 8)]
+        assert all(b <= a + 1e-12 for a, b in zip(errors, errors[1:]))
+
+    def test_tree_spans_are_contiguous_and_partition(self):
+        x = random_tensor((3, 4, 5, 6, 7), seed=5)
+        ht = ht_svd(x, max_rank=2)
+        spans = list(ht.ranks())
+        for span in spans:
+            assert span == tuple(range(span[0], span[-1] + 1))
+        leaves = sorted(s for s in spans if len(s) == 1)
+        assert leaves == [(m,) for m in range(5)]
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            ht_svd(np.zeros((3, 3)), 2)
+        with pytest.raises(ShapeError):
+            ht_svd(DenseTensor.zeros((3, 3)), 0)
+        with pytest.raises(ShapeError):
+            ht_svd(DenseTensor.zeros((5,)), 2)
+
+
+class TestStorage:
+    def test_parameters_linear_in_order(self):
+        """HT storage grows linearly with order at fixed rank, unlike the
+        exponential Tucker core — the reason the paper names it for
+        high-dimensional tensors."""
+        rank = 2
+        counts = []
+        for order in (3, 4, 5, 6):
+            x = low_rank_tensor((4,) * order, rank, seed=6)
+            ht = ht_svd(x, max_rank=rank)
+            counts.append(ht.n_parameters)
+        # Increments are bounded (no exponential blow-up).
+        increments = [b - a for a, b in zip(counts, counts[1:])]
+        assert max(increments) <= 2 * min(increments) + 32
+
+    def test_compression_beats_dense_for_low_rank(self):
+        x = low_rank_tensor((8, 8, 8, 8), 2, seed=7)
+        ht = ht_svd(x, max_rank=2)
+        assert ht.compression > 10.0
+
+    def test_n_parameters_counts_all_nodes(self):
+        x = random_tensor((3, 4), seed=8)
+        ht = ht_svd(x, max_rank=2)
+        # Two leaf frames + root transfer.
+        expected = (
+            ht.root.left.leaf_frame.size
+            + ht.root.right.leaf_frame.size
+            + ht.root.transfer.size
+        )
+        assert ht.n_parameters == expected
+
+
+class TestReconstruct:
+    def test_returns_dense_tensor_with_shape(self):
+        x = random_tensor((4, 5, 6), seed=9)
+        back = ht_reconstruct(ht_svd(x, max_rank=32))
+        assert isinstance(back, DenseTensor)
+        assert back.shape == x.shape
+
+    def test_error_of_zero_tensor(self):
+        x = DenseTensor.zeros((3, 3, 3))
+        ht = ht_svd(x, max_rank=1)
+        assert ht_error(x, ht) == 0.0
+
+    def test_truncated_error_close_to_tucker_optimum(self):
+        """HT at rank k cannot beat the best mode-k Tucker approximation
+        by definition, but should be within a modest factor of it."""
+        x = random_tensor((6, 6, 6), seed=10)
+        from repro.decomp import hosvd
+
+        k = 3
+        tucker = hosvd(x, (k, k, k))
+        tucker_err = 1.0 - tucker.fit
+        ht = ht_svd(x, max_rank=k)
+        assert ht_error(x, ht) <= max(3.0 * tucker_err, 1e-10)

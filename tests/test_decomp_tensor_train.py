@@ -1,0 +1,95 @@
+"""Tests for the tensor-train decomposition (TT-SVD)."""
+
+import numpy as np
+import pytest
+
+from repro.decomp import TensorTrain, tt_reconstruct, tt_svd
+from repro.decomp.tensor_train import tt_error
+from repro.tensor.dense import DenseTensor
+from repro.tensor.generate import low_rank_tensor, random_tensor
+from repro.util.errors import ShapeError
+
+
+class TestTtSvd:
+    def test_exact_reconstruction_at_full_rank(self):
+        x = random_tensor((4, 5, 6), seed=0)
+        tt = tt_svd(x)
+        assert tt_error(x, tt) < 1e-10
+
+    def test_rank_caps_respected(self):
+        x = random_tensor((4, 5, 6, 4), seed=1)
+        tt = tt_svd(x, max_rank=3)
+        assert all(r <= 3 for r in tt.ranks[1:-1])
+        assert tt.ranks[0] == tt.ranks[-1] == 1
+
+    def test_per_mode_rank_caps(self):
+        x = random_tensor((4, 5, 6), seed=2)
+        tt = tt_svd(x, max_rank=(2, 3))
+        assert tt.ranks[1] <= 2 and tt.ranks[2] <= 3
+
+    def test_core_shapes_chain(self):
+        x = random_tensor((4, 5, 6), seed=3)
+        tt = tt_svd(x, max_rank=3)
+        ranks = tt.ranks
+        for k, core in enumerate(tt.cores):
+            assert core.shape == (ranks[k], x.shape[k], ranks[k + 1])
+
+    def test_tolerance_bounds_error(self):
+        x = random_tensor((5, 5, 5, 5), seed=4)
+        for tol in (0.5, 0.2, 0.05):
+            tt = tt_svd(x, tolerance=tol)
+            assert tt_error(x, tt) <= tol + 1e-12
+
+    def test_tighter_tolerance_needs_more_parameters(self):
+        x = random_tensor((5, 5, 5, 5), seed=5)
+        loose = tt_svd(x, tolerance=0.5)
+        tight = tt_svd(x, tolerance=0.01)
+        assert tight.n_parameters >= loose.n_parameters
+
+    def test_low_rank_tensor_compresses_losslessly(self):
+        x = low_rank_tensor((6, 6, 6), 2, seed=6)
+        tt = tt_svd(x, tolerance=1e-10)
+        assert tt_error(x, tt) < 1e-8
+        assert tt.compression > 1.0
+
+    def test_order2_is_svd(self):
+        x = random_tensor((6, 8), seed=7)
+        tt = tt_svd(x, max_rank=3)
+        assert len(tt.cores) == 2
+        # Best rank-3 approximation error equals the SVD tail.
+        s = np.linalg.svd(x.data, compute_uv=False)
+        expected = np.sqrt(np.sum(s[3:] ** 2)) / np.linalg.norm(x.data)
+        assert tt_error(x, tt) == pytest.approx(expected, abs=1e-10)
+
+    def test_validation(self):
+        x = random_tensor((4, 4, 4), seed=8)
+        with pytest.raises(TypeError):
+            tt_svd(np.zeros((4, 4)))
+        with pytest.raises(ShapeError):
+            tt_svd(x, tolerance=-1.0)
+        with pytest.raises(ShapeError):
+            tt_svd(x, max_rank=(2,))
+        with pytest.raises(ShapeError):
+            tt_svd(x, max_rank=(0, 2))
+
+
+class TestReconstruct:
+    def test_roundtrip_values(self):
+        x = random_tensor((3, 4, 5), seed=9)
+        tt = tt_svd(x)
+        back = tt_reconstruct(tt)
+        assert isinstance(back, DenseTensor)
+        assert np.allclose(back.data, x.data, atol=1e-10)
+
+    def test_zero_tensor_error_is_zero(self):
+        x = DenseTensor.zeros((3, 3, 3))
+        tt = tt_svd(x, max_rank=1)
+        assert tt_error(x, tt) == 0.0
+
+
+class TestTensorTrainProperties:
+    def test_n_parameters(self):
+        cores = [np.zeros((1, 4, 2)), np.zeros((2, 5, 1))]
+        tt = TensorTrain(cores=cores, shape=(4, 5))
+        assert tt.n_parameters == 8 + 10
+        assert tt.compression == pytest.approx(20 / 18)

@@ -1,0 +1,180 @@
+"""Tests for the simulated distributed TTM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import (
+    CommReport,
+    ProcessGrid,
+    best_grid,
+    block_ranges,
+    communication_words,
+    distributed_ttm,
+    enumerate_grids,
+)
+from repro.tensor.dense import DenseTensor
+from repro.util.errors import ShapeError
+from tests.helpers import ttm_oracle
+
+
+class TestBlockRanges:
+    def test_even_split(self):
+        assert block_ranges(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_split_front_loads(self):
+        assert block_ranges(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_single_part(self):
+        assert block_ranges(5, 1) == [(0, 5)]
+
+    def test_covers_everything(self):
+        for extent in range(1, 20):
+            for parts in range(1, extent + 1):
+                ranges = block_ranges(extent, parts)
+                assert ranges[0][0] == 0 and ranges[-1][1] == extent
+                for (a, b), (c, _d) in zip(ranges, ranges[1:]):
+                    assert b == c and b > a
+
+    def test_too_many_parts_rejected(self):
+        with pytest.raises(ShapeError):
+            block_ranges(3, 4)
+
+
+class TestProcessGrid:
+    def test_size_and_ranks(self):
+        grid = ProcessGrid((2, 1, 3))
+        assert grid.size == 6
+        assert len(list(grid.ranks())) == 6
+
+    def test_local_slices(self):
+        grid = ProcessGrid((2, 2))
+        assert grid.local_slices((4, 6), (1, 0)) == (
+            slice(2, 4), slice(0, 3)
+        )
+
+    def test_validate_for(self):
+        grid = ProcessGrid((2, 2))
+        with pytest.raises(ShapeError):
+            grid.validate_for((4, 1))
+        with pytest.raises(ShapeError):
+            grid.validate_for((4, 4, 4))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ShapeError):
+            ProcessGrid((0, 2))
+
+    def test_enumerate_grids(self):
+        grids = enumerate_grids(2, 4)
+        assert {g.dims for g in grids} == {(1, 4), (2, 2), (4, 1)}
+        assert all(g.size == 4 for g in grids)
+
+    def test_enumerate_grids_order3(self):
+        grids = enumerate_grids(3, 6)
+        assert all(g.size == 6 for g in grids)
+        assert ProcessGrid((1, 2, 3)).dims in {g.dims for g in grids}
+
+
+class TestDistributedTtm:
+    @pytest.mark.parametrize("dims", [(1, 1, 1), (2, 1, 1), (1, 2, 1),
+                                      (1, 1, 2), (2, 2, 1), (2, 1, 2),
+                                      (2, 2, 2)])
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_oracle_all_grids_modes(self, dims, mode):
+        rng = np.random.default_rng(0)
+        shape = (6, 8, 4)
+        x = DenseTensor(rng.standard_normal(shape))
+        u = rng.standard_normal((3, shape[mode]))
+        y, report = distributed_ttm(x, u, mode, ProcessGrid(dims))
+        assert np.allclose(y.data, ttm_oracle(x.data, u, mode))
+        assert isinstance(report, CommReport)
+
+    def test_no_allreduce_when_mode_unpartitioned(self):
+        rng = np.random.default_rng(1)
+        x = DenseTensor(rng.standard_normal((8, 8, 8)))
+        u = rng.standard_normal((4, 8))
+        _y, report = distributed_ttm(x, u, 1, ProcessGrid((2, 1, 2)))
+        assert report.allreduce_words == 0
+
+    def test_allreduce_when_mode_partitioned(self):
+        rng = np.random.default_rng(2)
+        x = DenseTensor(rng.standard_normal((8, 8, 8)))
+        u = rng.standard_normal((4, 8))
+        _y, report = distributed_ttm(x, u, 1, ProcessGrid((1, 4, 1)))
+        assert report.allreduce_words > 0
+
+    def test_scatter_volume_counts_all_panels(self):
+        rng = np.random.default_rng(3)
+        x = DenseTensor(rng.standard_normal((8, 8)))
+        u = rng.standard_normal((4, 8))
+        _y, report = distributed_ttm(x, u, 1, ProcessGrid((2, 2)))
+        # 4 ranks each get a (4 x 4) panel.
+        assert report.scatter_u_words == 4 * 16
+
+    def test_local_flops_sum_to_total(self):
+        rng = np.random.default_rng(4)
+        shape = (6, 8, 4)
+        x = DenseTensor(rng.standard_normal(shape))
+        u = rng.standard_normal((5, 8))
+        _y, report = distributed_ttm(x, u, 1, ProcessGrid((2, 2, 2)))
+        assert sum(report.local_flops) == 2 * 5 * x.size
+
+    def test_load_imbalance_on_uneven_split(self):
+        rng = np.random.default_rng(5)
+        x = DenseTensor(rng.standard_normal((7, 6)))
+        u = rng.standard_normal((2, 6))
+        _y, report = distributed_ttm(x, u, 1, ProcessGrid((2, 1)))
+        assert report.load_imbalance > 1.0
+
+    def test_validation(self):
+        x = DenseTensor.zeros((4, 4))
+        with pytest.raises(TypeError):
+            distributed_ttm(np.zeros((4, 4)), np.zeros((2, 4)), 0,
+                            ProcessGrid((1, 1)))
+        with pytest.raises(ShapeError):
+            distributed_ttm(x, np.zeros((2, 5)), 0, ProcessGrid((1, 1)))
+        with pytest.raises(ShapeError):
+            distributed_ttm(x, np.zeros((2, 4)), 0, ProcessGrid((8, 1)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        shape=st.lists(st.integers(2, 6), min_size=2, max_size=4),
+        data=st.data(),
+    )
+    def test_property_any_feasible_grid_is_exact(self, shape, data):
+        mode = data.draw(st.integers(0, len(shape) - 1))
+        dims = tuple(
+            data.draw(st.integers(1, min(2, s))) for s in shape
+        )
+        rng = np.random.default_rng(6)
+        x = DenseTensor(rng.standard_normal(shape))
+        u = rng.standard_normal((2, shape[mode]))
+        y, _report = distributed_ttm(x, u, mode, ProcessGrid(dims))
+        assert np.allclose(y.data, ttm_oracle(x.data, u, mode))
+
+
+class TestCommunicationModel:
+    def test_model_matches_simulation(self):
+        rng = np.random.default_rng(7)
+        shape, j, mode = (8, 8, 8), 4, 1
+        x = DenseTensor(rng.standard_normal(shape))
+        u = rng.standard_normal((j, 8))
+        for dims in ((2, 2, 1), (1, 4, 1), (1, 1, 4)):
+            grid = ProcessGrid(dims)
+            _y, report = distributed_ttm(x, u, mode, grid)
+            assert report.total_comm_words == communication_words(
+                shape, j, mode, grid
+            )
+
+    def test_best_grid_avoids_partitioning_the_mode(self):
+        """With J << I_n, splitting the contracted mode forces an
+        all-reduce; the model should prefer grids that avoid it."""
+        grid = best_grid((64, 64, 64), j=4, mode=1, nproc=4)
+        assert grid.dims[1] == 1
+
+    def test_best_grid_feasibility(self):
+        grid = best_grid((2, 64, 64), j=4, mode=0, nproc=8)
+        assert grid.dims[0] <= 2
+        with pytest.raises(ShapeError):
+            best_grid((2, 2), j=1, mode=0, nproc=64)

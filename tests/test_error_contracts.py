@@ -1,0 +1,81 @@
+"""Error-message contracts: failures must tell the user what to do.
+
+A performance library's errors are part of its API: the stride error
+must point at the general-stride kernel, the merge error at the
+contiguity requirement, the plan error at the offending field.  These
+tests pin the actionable content of the key messages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import Strategy, TtmPlan
+from repro.gemm import gemm_blas
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import ROW_MAJOR
+from repro.tensor.views import merged_matrix_view
+from repro.util.errors import LayoutError, PlanError, StrideError
+
+
+class TestStrideErrors:
+    def test_blas_error_names_the_alternative_kernel(self):
+        a = np.zeros((12, 12))[::2, ::3]
+        with pytest.raises(StrideError) as exc:
+            gemm_blas(a, np.zeros((4, 2)))
+        message = str(exc.value)
+        assert "blocked" in message  # tells the user what to use instead
+        assert "strides" in message
+
+
+class TestMergeErrors:
+    def test_non_consecutive_merge_cites_lemma(self):
+        t = DenseTensor.zeros((2, 3, 4, 5))
+        with pytest.raises(LayoutError) as exc:
+            merged_matrix_view(t, (0, 2), (1, 3), {})
+        assert "consecutive" in str(exc.value)
+        assert "Lemma 4.1" in str(exc.value)
+
+    def test_uncovered_modes_lists_them(self):
+        t = DenseTensor.zeros((2, 3, 4))
+        with pytest.raises(Exception) as exc:
+            merged_matrix_view(t, (0,), (1,), {})
+        assert "cover" in str(exc.value)
+
+
+class TestPlanErrors:
+    def test_bad_component_run_names_the_modes(self):
+        with pytest.raises(PlanError) as exc:
+            TtmPlan(
+                shape=(4, 5, 6, 7),
+                mode=1,
+                j=2,
+                layout=ROW_MAJOR,
+                strategy=Strategy.FORWARD,
+                component_modes=(2,),  # does not reach the last mode
+                loop_modes=(0, 3),
+            )
+        assert "rightmost" in str(exc.value)
+
+    def test_cover_violation_reports_sets(self):
+        with pytest.raises(PlanError) as exc:
+            TtmPlan(
+                shape=(4, 5, 6),
+                mode=1,
+                j=2,
+                layout=ROW_MAJOR,
+                strategy=Strategy.FORWARD,
+                component_modes=(2,),
+                loop_modes=(),
+            )
+        message = str(exc.value)
+        assert "M_C" in message and "M_L" in message
+
+
+class TestTypeErrors:
+    def test_ndarray_input_suggests_wrapping(self):
+        from repro.core.inttm import ttm_inplace
+
+        with pytest.raises(TypeError) as exc:
+            ttm_inplace(np.zeros((3, 4)), np.zeros((2, 3)), 0)
+        assert "DenseTensor" in str(exc.value)
+        assert "layout" in str(exc.value)

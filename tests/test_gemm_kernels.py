@@ -1,0 +1,279 @@
+"""Unit + property tests for the GEMM substrate kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm import (
+    BlockSizes,
+    blas_legal,
+    gemm,
+    gemm_blas,
+    gemm_blocked,
+    gemm_reference,
+    gemm_threaded,
+    kernel_names,
+    unit_stride_dims,
+)
+from repro.util.errors import ShapeError, StrideError
+
+
+def _case(m, k, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, k)), rng.standard_normal((k, n))
+
+
+class TestStridePredicates:
+    def test_contiguous_is_legal(self):
+        a = np.zeros((3, 4))
+        assert blas_legal(a)
+        assert unit_stride_dims(a) == (False, True)
+
+    def test_fortran_is_legal(self):
+        a = np.zeros((3, 4), order="F")
+        assert blas_legal(a)
+        assert unit_stride_dims(a) == (True, False)
+
+    def test_lda_slice_is_legal(self):
+        a = np.zeros((8, 8))[:, :3]
+        assert blas_legal(a)
+
+    def test_general_stride_is_illegal(self):
+        a = np.zeros((12, 12))[::2, ::3]
+        assert not blas_legal(a)
+
+    def test_negative_stride_is_illegal(self):
+        a = np.zeros((4, 4))[::-1]
+        assert not blas_legal(a)
+
+    def test_degenerate_dims_are_vacuously_unit(self):
+        a = np.zeros((1, 5))[:, ::2]
+        assert blas_legal(a)
+
+    def test_non_2d_is_illegal(self):
+        assert not blas_legal(np.zeros(4))
+
+    def test_unit_stride_dims_requires_2d(self):
+        with pytest.raises(ShapeError):
+            unit_stride_dims(np.zeros(3))
+
+
+class TestReference:
+    def test_matches_numpy(self):
+        a, b = _case(4, 5, 6)
+        assert np.allclose(gemm_reference(a, b), a @ b)
+
+    def test_accumulate(self):
+        a, b = _case(3, 3, 3)
+        out = np.ones((3, 3))
+        gemm_reference(a, b, out=out, accumulate=True)
+        assert np.allclose(out, 1.0 + a @ b)
+
+    def test_overwrite(self):
+        a, b = _case(3, 3, 3)
+        out = np.full((3, 3), 9.0)
+        gemm_reference(a, b, out=out, accumulate=False)
+        assert np.allclose(out, a @ b)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            gemm_reference(np.zeros((2, 3)), np.zeros((4, 5)))
+        with pytest.raises(ShapeError):
+            gemm_reference(np.zeros(3), np.zeros((3, 2)))
+        with pytest.raises(ShapeError):
+            gemm_reference(
+                np.zeros((2, 3)), np.zeros((3, 2)), out=np.zeros((3, 3))
+            )
+
+
+class TestBlasKernel:
+    def test_matches_numpy(self):
+        a, b = _case(7, 9, 11)
+        assert np.allclose(gemm_blas(a, b), a @ b)
+
+    def test_in_place_out(self):
+        a, b = _case(5, 6, 7)
+        out = np.empty((5, 7))
+        result = gemm_blas(a, b, out=out)
+        assert result is out
+        assert np.allclose(out, a @ b)
+
+    def test_in_place_strided_out(self):
+        a, b = _case(5, 6, 7)
+        big = np.zeros((15, 7))
+        out = big[::3, :]  # row-strided but BLAS-legal (unit column stride)
+        gemm_blas(a, b, out=out)
+        assert np.allclose(out, a @ b)
+
+    def test_accumulate(self):
+        a, b = _case(4, 4, 4)
+        out = (a @ b).copy()
+        gemm_blas(a, b, out=out, accumulate=True)
+        assert np.allclose(out, 2 * (a @ b))
+
+    def test_accumulate_without_out_raises(self):
+        a, b = _case(2, 2, 2)
+        with pytest.raises(ShapeError):
+            gemm_blas(a, b, accumulate=True)
+
+    def test_rejects_general_stride_operand(self):
+        a = np.zeros((12, 12))[::2, ::3]
+        with pytest.raises(StrideError):
+            gemm_blas(a, np.zeros((4, 2)))
+
+    def test_rejects_general_stride_out(self):
+        a, b = _case(4, 4, 4)
+        out = np.zeros((8, 8))[::2, ::2]
+        with pytest.raises(StrideError):
+            gemm_blas(a, b, out=out)
+
+    def test_inner_dim_mismatch(self):
+        with pytest.raises(ShapeError):
+            gemm_blas(np.zeros((2, 3)), np.zeros((4, 5)))
+
+    def test_out_shape_mismatch(self):
+        a, b = _case(2, 3, 4)
+        with pytest.raises(ShapeError):
+            gemm_blas(a, b, out=np.zeros((2, 5)))
+
+
+class TestBlockedKernel:
+    def test_matches_numpy_large(self):
+        a, b = _case(70, 90, 110)
+        assert np.allclose(gemm_blocked(a, b), a @ b)
+
+    def test_accepts_general_strides_everywhere(self):
+        rng = np.random.default_rng(1)
+        abase = rng.standard_normal((40, 60))
+        bbase = rng.standard_normal((60, 80))
+        a = abase[::2, ::3]
+        b = bbase[::3, ::4]
+        cbase = np.zeros((40, 40))
+        out = cbase[::2, ::2]
+        gemm_blocked(a, b, out=out)
+        assert np.allclose(out, np.asarray(a) @ np.asarray(b))
+
+    def test_blocking_boundaries(self):
+        # Sizes straddling the block boundaries in every dimension.
+        blocks = BlockSizes(mc=4, kc=3, nc=5)
+        a, b = _case(9, 7, 11, seed=2)
+        assert np.allclose(
+            gemm_blocked(a, b, block_sizes=blocks), a @ b
+        )
+
+    def test_accumulate(self):
+        a, b = _case(6, 6, 6, seed=3)
+        out = np.ones((6, 6))
+        gemm_blocked(a, b, out=out, accumulate=True,
+                     block_sizes=BlockSizes(mc=2, kc=2, nc=2))
+        assert np.allclose(out, 1.0 + a @ b)
+
+    def test_overwrite_clears_previous(self):
+        a, b = _case(5, 4, 3, seed=4)
+        out = np.full((5, 3), 123.0)
+        gemm_blocked(a, b, out=out, block_sizes=BlockSizes(mc=2, kc=2, nc=2))
+        assert np.allclose(out, a @ b)
+
+    def test_k_zero_zeroes_output(self):
+        out = np.ones((3, 4))
+        gemm_blocked(np.zeros((3, 0)), np.zeros((0, 4)), out=out)
+        assert np.all(out == 0.0)
+
+    def test_k_zero_accumulate_keeps_output(self):
+        out = np.ones((3, 4))
+        gemm_blocked(np.zeros((3, 0)), np.zeros((0, 4)), out=out,
+                     accumulate=True)
+        assert np.all(out == 1.0)
+
+    def test_invalid_blocks_raise(self):
+        with pytest.raises(ShapeError):
+            BlockSizes(mc=0)
+
+    def test_packed_bytes(self):
+        assert BlockSizes(mc=2, kc=3, nc=4).packed_bytes == 8 * (6 + 12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        m=st.integers(1, 12),
+        k=st.integers(0, 12),
+        n=st.integers(1, 12),
+        mc=st.integers(1, 5),
+        kc=st.integers(1, 5),
+        nc=st.integers(1, 5),
+        seed=st.integers(0, 10),
+    )
+    def test_property_any_blocking_matches(self, m, k, n, mc, kc, nc, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        got = gemm_blocked(a, b, block_sizes=BlockSizes(mc=mc, kc=kc, nc=nc))
+        assert np.allclose(got, a @ b)
+
+
+class TestThreadedKernel:
+    @pytest.mark.parametrize("threads", [1, 2, 3, 8])
+    def test_matches_numpy(self, threads):
+        a, b = _case(17, 13, 19, seed=5)
+        assert np.allclose(gemm_threaded(a, b, threads=threads), a @ b)
+
+    def test_threads_exceeding_rows(self):
+        a, b = _case(2, 4, 5, seed=6)
+        assert np.allclose(gemm_threaded(a, b, threads=16), a @ b)
+
+    def test_accumulate_into_out(self):
+        a, b = _case(8, 4, 6, seed=7)
+        out = np.ones((8, 6))
+        gemm_threaded(a, b, out=out, accumulate=True, threads=3)
+        assert np.allclose(out, 1.0 + a @ b)
+
+    def test_accumulate_without_out_raises(self):
+        a, b = _case(2, 2, 2)
+        with pytest.raises(ShapeError):
+            gemm_threaded(a, b, accumulate=True)
+
+    def test_invalid_threads(self):
+        a, b = _case(2, 2, 2)
+        with pytest.raises(ValueError):
+            gemm_threaded(a, b, threads=0)
+
+    def test_strided_operands_route_through_auto(self):
+        rng = np.random.default_rng(8)
+        a = rng.standard_normal((24, 24))[::2, ::3]
+        b = rng.standard_normal((8, 10))
+        assert np.allclose(
+            gemm_threaded(a, b, threads=2), np.asarray(a) @ b
+        )
+
+
+class TestDispatch:
+    def test_kernel_names(self):
+        assert set(kernel_names()) == {
+            "auto", "blas", "blocked", "reference", "threaded"
+        }
+
+    def test_auto_uses_blas_for_legal(self):
+        a, b = _case(4, 5, 6, seed=9)
+        assert np.allclose(gemm(a, b, kernel="auto"), a @ b)
+
+    def test_auto_falls_back_for_general_stride(self):
+        rng = np.random.default_rng(10)
+        a = rng.standard_normal((12, 12))[::2, ::3]
+        b = rng.standard_normal((4, 5))
+        assert np.allclose(gemm(a, b), np.asarray(a) @ b)
+
+    def test_auto_falls_back_for_strided_out(self):
+        a, b = _case(4, 5, 6, seed=11)
+        out = np.zeros((8, 12))[::2, ::2]
+        gemm(a, b, out=out)
+        assert np.allclose(out, a @ b)
+
+    def test_unknown_kernel_raises(self):
+        a, b = _case(2, 2, 2)
+        with pytest.raises(StrideError):
+            gemm(a, b, kernel="magic")
+
+    @pytest.mark.parametrize("kernel", ["blas", "blocked", "reference"])
+    def test_named_kernels_agree(self, kernel):
+        a, b = _case(6, 7, 8, seed=12)
+        assert np.allclose(gemm(a, b, kernel=kernel), a @ b)

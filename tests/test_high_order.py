@@ -1,0 +1,111 @@
+"""High-order stress: orders 6-7, where index bookkeeping goes to die.
+
+The paper evaluates up to order 5; the machinery generalizes to any
+order, and these tests hold it to that across every implementation and
+both layouts — small extents keep the flop counts trivial while the
+mode arithmetic (partitioning, merging, loop order, strategy fallback)
+is exercised at full depth.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import InTensLi, enumerate_plans
+from repro.core.inttm import ttm_inplace
+from repro.decomp import hooi, tt_svd
+from repro.decomp.tensor_train import tt_error
+from repro.sparse import SparseTensor, ttm_sparse
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
+from tests.helpers import ttm_oracle
+
+SHAPE6 = (3, 2, 4, 2, 3, 2)
+SHAPE7 = (2, 3, 2, 2, 3, 2, 2)
+
+
+class TestOrder6:
+    @pytest.mark.parametrize("mode", range(6))
+    @pytest.mark.parametrize("layout", [ROW_MAJOR, COL_MAJOR])
+    def test_all_modes_all_layouts(self, mode, layout):
+        rng = np.random.default_rng(mode)
+        x = DenseTensor(rng.standard_normal(SHAPE6), layout)
+        u = rng.standard_normal((2, SHAPE6[mode]))
+        expect = ttm_oracle(x.data, u, mode)
+        assert np.allclose(ttm_inplace(x, u, mode).data, expect)
+        assert np.allclose(repro.ttm(x, u, mode).data, expect)
+        assert np.allclose(repro.ttm_copy(x, u, mode).data, expect)
+
+    def test_every_enumerated_plan_correct(self):
+        rng = np.random.default_rng(60)
+        x = DenseTensor(rng.standard_normal(SHAPE6))
+        mode = 2
+        u = rng.standard_normal((2, SHAPE6[mode]))
+        expect = ttm_oracle(x.data, u, mode)
+        plans = enumerate_plans(SHAPE6, mode, 2, ROW_MAJOR, 1)
+        assert len(plans) == 3  # degrees 1..3 (modes 3, 4, 5)
+        for plan in plans:
+            assert np.allclose(
+                ttm_inplace(x, u, plan=plan).data, expect
+            ), plan.describe()
+
+    def test_sparse_ttm_order6(self):
+        rng = np.random.default_rng(61)
+        dense = np.where(
+            rng.random(SHAPE6) < 0.2, rng.standard_normal(SHAPE6), 0.0
+        )
+        x = SparseTensor.from_dense(dense)
+        u = rng.standard_normal((2, SHAPE6[3]))
+        got = ttm_sparse(x, u, 3)
+        assert np.allclose(got.to_dense().data, ttm_oracle(dense, u, 3))
+
+    def test_tucker_order6(self):
+        x = repro.low_rank_tensor(SHAPE6, 2, seed=62)
+        result = hooi(x, 2, max_iterations=2, tolerance=0.0)
+        assert result.fit > 0.999
+        assert result.core.shape == (2,) * 6
+
+    def test_tensor_train_order6(self):
+        x = repro.random_tensor(SHAPE6, seed=63)
+        tt = tt_svd(x)
+        assert tt_error(x, tt) < 1e-10
+
+
+class TestOrder7:
+    @pytest.mark.parametrize("mode", [0, 3, 6])
+    def test_facade_order7(self, mode):
+        rng = np.random.default_rng(70 + mode)
+        lib = InTensLi()
+        x = DenseTensor(rng.standard_normal(SHAPE7))
+        u = rng.standard_normal((2, SHAPE7[mode]))
+        y = lib.ttm(x, u, mode)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, mode))
+
+    def test_generated_code_compiles_order7(self):
+        from repro.core.codegen import compile_plan
+        from repro.core.inttm import default_plan
+
+        plan = default_plan(SHAPE7, 3, 2, ROW_MAJOR, degree=2)
+        fn = compile_plan(plan)
+        rng = np.random.default_rng(71)
+        x = DenseTensor(rng.standard_normal(SHAPE7))
+        u = rng.standard_normal((2, SHAPE7[3]))
+        y = DenseTensor.empty(plan.out_shape, ROW_MAJOR)
+        fn(x.data, u, y.data)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, 3))
+
+    def test_chain_over_all_seven_modes(self):
+        from repro.core.chain import ChainStep, ttm_chain
+
+        rng = np.random.default_rng(72)
+        x = DenseTensor(rng.standard_normal(SHAPE7))
+        steps = [
+            ChainStep(m, rng.standard_normal((2, s)))
+            for m, s in enumerate(SHAPE7)
+        ]
+        y = ttm_chain(x, steps, backend=ttm_inplace)
+        expect = x.data
+        for step in steps:
+            expect = ttm_oracle(expect, step.matrix, step.mode)
+        assert np.allclose(y.data, expect)
+        assert y.shape == (2,) * 7

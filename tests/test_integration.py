@@ -1,0 +1,115 @@
+"""Cross-module integration tests: the full pipelines, end to end."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import CORE_I7_4770K, XEON_E7_4820
+from repro.baselines import ttm_copy, ttm_ctf_like
+from repro.core import (
+    ExhaustiveTuner,
+    InTensLi,
+    enumerate_plans,
+    generate_source,
+    predict_gflops,
+    rank_plans,
+)
+from repro.decomp import cp_als, hooi, ht_svd, tt_svd
+from repro.decomp.htucker import ht_error
+from repro.decomp.tensor_train import tt_error
+from repro.distributed import ProcessGrid, distributed_ttm
+from repro.gemm.bench import GemmProfile, default_shape_grid, synthetic_profile
+from repro.sparse import SparseTensor, hooi_sparse
+from repro.tensor.generate import low_rank_tensor, random_tensor
+from tests.helpers import ttm_oracle
+
+
+class TestFullPipelinePerPlatform:
+    """Profile -> thresholds -> plan -> codegen -> execution, per preset."""
+
+    @pytest.mark.parametrize("platform", [CORE_I7_4770K, XEON_E7_4820])
+    def test_platform_pipeline(self, platform):
+        profile = synthetic_profile(
+            default_shape_grid(), platform, threads=(1, 4)
+        )
+        lib = InTensLi(profile=profile, max_threads=4)
+        shape, mode, j = (24, 20, 16, 12), 1, 8
+        plan = lib.plan(shape, mode, j)
+        source = generate_source(plan)
+        assert "def inttm" in source
+        x = random_tensor(shape, seed=0)
+        u = np.random.default_rng(1).standard_normal((j, shape[mode]))
+        y = lib.execute(plan, x, u)
+        assert np.allclose(y.data, ttm_oracle(x.data, u, mode))
+
+    def test_profile_roundtrip_through_disk(self, tmp_path):
+        profile = synthetic_profile(
+            default_shape_grid(), CORE_I7_4770K, threads=(1,)
+        )
+        path = tmp_path / "profile.json"
+        profile.save(str(path))
+        lib = InTensLi(profile=GemmProfile.load(str(path)))
+        plan = lib.plan((32, 32, 32), 0, 8)
+        assert plan.degree >= 1
+
+
+class TestPredictionAgainstMeasurement:
+    def test_predicted_ranking_correlates_with_measured(self):
+        """The model's best plan should be near the measured best."""
+        shape, mode, j = (12, 12, 12, 12, 12), 0, 16
+        x = random_tensor(shape, seed=2)
+        u = np.random.default_rng(3).standard_normal((j, shape[mode]))
+        lib = InTensLi()
+        plans = enumerate_plans(shape, mode, j, max_threads=1)
+        predicted_best = rank_plans(plans, lib.profile)[0][0]
+        tuner = ExhaustiveTuner(min_seconds=0.02, min_repeats=2)
+        sweep = tuner.sweep(x, u, mode)
+        measured_best_rate = sweep.best_gflops
+        predicted_best_measured = sweep.gflops_of(predicted_best)
+        assert predicted_best_measured > 0.5 * measured_best_rate
+
+
+class TestDecompositionStack:
+    def test_all_decompositions_compress_the_same_tensor(self):
+        x = low_rank_tensor((12, 12, 12, 12), 2, seed=4)
+        tucker = hooi(x, 2, max_iterations=3)
+        assert tucker.fit > 0.999
+        tt = tt_svd(x, max_rank=8)
+        assert tt_error(x, tt) < 1e-7
+        ht = ht_svd(x, max_rank=8)
+        assert ht_error(x, ht) < 1e-7
+        cp = cp_als(x, 6, max_iterations=25)
+        assert cp.fit > 0.8  # CP of a Tucker-structured tensor: partial fit
+
+    def test_sparse_and_dense_tucker_agree_end_to_end(self):
+        dense = low_rank_tensor((9, 8, 7), 2, seed=5)
+        sparse = SparseTensor.from_dense(dense)
+        dense_result = hooi(dense, 2, max_iterations=2, tolerance=0.0)
+        sparse_result = hooi_sparse(sparse, 2, max_iterations=2,
+                                    tolerance=0.0)
+        assert dense_result.fit == pytest.approx(sparse_result.fit, abs=1e-8)
+
+
+class TestDistributedUsesInPlaceLocally:
+    def test_local_backend_is_pluggable_and_consistent(self):
+        shape, mode, j = (12, 12, 12), 1, 4
+        x = random_tensor(shape, seed=6)
+        u = np.random.default_rng(7).standard_normal((j, shape[mode]))
+        grid = ProcessGrid((2, 2, 2))
+        y_default, _ = distributed_ttm(x, u, mode, grid)
+        y_copy, _ = distributed_ttm(x, u, mode, grid, local_backend=ttm_copy)
+        assert np.allclose(y_default.data, y_copy.data)
+        assert np.allclose(y_default.data, ttm_oracle(x.data, u, mode))
+
+
+class TestBaselinesShareSemantics:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_all_ttm_entry_points_agree(self, mode):
+        shape, j = (10, 11, 12), 5
+        x = random_tensor(shape, seed=8)
+        u = np.random.default_rng(9).standard_normal((j, shape[mode]))
+        expect = ttm_oracle(x.data, u, mode)
+        assert np.allclose(repro.ttm(x, u, mode).data, expect)
+        assert np.allclose(repro.ttm_inplace(x, u, mode).data, expect)
+        assert np.allclose(ttm_copy(x, u, mode).data, expect)
+        assert np.allclose(ttm_ctf_like(x, u, mode).data, expect)

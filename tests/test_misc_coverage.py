@@ -1,0 +1,121 @@
+"""Targeted tests for small helpers not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import region_layout
+from repro.gemm.threaded import _row_panels
+from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
+from repro.util.errors import BenchmarkError, ReproError
+
+
+class TestRowPanels:
+    def test_even_split(self):
+        assert _row_panels(8, 2) == [(0, 4), (4, 8)]
+
+    def test_uneven_split_covers_all(self):
+        panels = _row_panels(10, 3)
+        assert panels[0][0] == 0 and panels[-1][1] == 10
+        for (a, b), (c, _d) in zip(panels, panels[1:]):
+            assert b == c
+
+    def test_more_parts_than_rows(self):
+        panels = _row_panels(3, 10)
+        assert len(panels) == 3
+        assert all(hi - lo == 1 for lo, hi in panels)
+
+    def test_zero_rows(self):
+        assert _row_panels(0, 4) == [(0, 0)]
+
+    def test_single_part(self):
+        assert _row_panels(7, 1) == [(0, 7)]
+
+
+class TestRegionLayout:
+    def test_parses_strings(self):
+        assert region_layout("C") is ROW_MAJOR
+        assert region_layout("F") is COL_MAJOR
+
+    def test_passthrough(self):
+        assert region_layout(ROW_MAJOR) is ROW_MAJOR
+
+
+class TestErrorHierarchyExtras:
+    def test_benchmark_error_is_repro_error(self):
+        assert issubclass(BenchmarkError, ReproError)
+        assert issubclass(BenchmarkError, RuntimeError)
+
+
+class TestDefaultIntensliSingleton:
+    def test_module_level_instance_is_cached(self):
+        from repro.core.intensli import default_intensli
+
+        assert default_intensli() is default_intensli()
+
+
+class TestGemmKwargsPassthrough:
+    def test_block_sizes_flow_through_dispatch(self):
+        from repro.gemm import BlockSizes, gemm
+
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((7, 9))
+        b = rng.standard_normal((9, 5))
+        got = gemm(a, b, kernel="blocked",
+                   block_sizes=BlockSizes(mc=2, kc=3, nc=2))
+        assert np.allclose(got, a @ b)
+
+    def test_threads_flow_through_dispatch(self):
+        from repro.gemm import gemm
+
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((6, 4))
+        b = rng.standard_normal((4, 5))
+        got = gemm(a, b, kernel="threaded", threads=3)
+        assert np.allclose(got, a @ b)
+
+
+class TestArangeTensorEdges:
+    def test_zero_start(self):
+        from repro.tensor.generate import arange_tensor
+
+        t = arange_tensor((2, 2), start=0)
+        assert t.data.min() == 0.0
+
+    def test_single_element(self):
+        from repro.tensor.generate import arange_tensor
+
+        t = arange_tensor((1, 1, 1))
+        assert t.data.ravel()[0] == 1.0
+
+
+class TestMachineInfoParsers:
+    def test_llc_default_when_sysfs_missing(self, monkeypatch):
+        import repro.perf.machine as machine
+
+        monkeypatch.setattr(
+            machine.os, "listdir", lambda _p: (_ for _ in ()).throw(OSError)
+        )
+        assert machine._llc_bytes() == 8 * 1024**2
+
+    def test_memory_bytes_nonnegative(self):
+        from repro.perf.machine import _memory_bytes
+
+        assert _memory_bytes() >= 0
+
+    def test_blas_backend_string(self):
+        from repro.perf.machine import _blas_backend
+
+        assert isinstance(_blas_backend(), str)
+
+
+class TestSparseTensorImmutability:
+    def test_canonical_indices_are_contiguous(self):
+        from repro.sparse import random_sparse
+
+        sp = random_sparse((5, 5), 0.4, seed=0)
+        assert sp.indices.flags["C_CONTIGUOUS"]
+
+    def test_norm_of_empty(self):
+        from repro.sparse import SparseTensor
+
+        assert SparseTensor.empty((3, 3)).norm() == 0.0

@@ -1,0 +1,74 @@
+"""Tests for plan performance prediction."""
+
+import pytest
+
+from repro.analysis import CORE_I7_4770K
+from repro.core import enumerate_plans, predict_gflops, predict_seconds, rank_plans
+from repro.core.inttm import default_plan
+from repro.gemm.bench import GemmProfile, ShapePoint, default_shape_grid, synthetic_profile
+from repro.tensor.layout import ROW_MAJOR
+
+
+@pytest.fixture()
+def profile():
+    return synthetic_profile(
+        default_shape_grid(k_exponents=range(4, 12), n_exponents=range(4, 12)),
+        CORE_I7_4770K,
+        threads=(1, 4),
+    )
+
+
+class TestPredictSeconds:
+    def test_positive_and_flops_consistent(self, profile):
+        plan = default_plan((64, 64, 64), 1, 16, ROW_MAJOR)
+        seconds = predict_seconds(plan, profile)
+        assert seconds > 0.0
+        gflops = predict_gflops(plan, profile)
+        assert gflops == pytest.approx(plan.total_flops / seconds / 1e9)
+
+    def test_loop_overhead_penalizes_many_iterations(self, profile):
+        few = default_plan((64, 64, 64), 1, 16, ROW_MAJOR, degree=1)
+        many = default_plan((64, 64, 64, 64), 1, 16, ROW_MAJOR, degree=1)
+        # Same kernel shape; 'many' has 64x the iterations.
+        assert many.loop_iterations == 64 * few.loop_iterations
+        t_few = predict_seconds(few, profile, loop_overhead=1e-3)
+        t_many = predict_seconds(many, profile, loop_overhead=1e-3)
+        assert t_many > 32 * t_few
+
+    def test_loop_threads_divide_time(self, profile):
+        serial = default_plan((64, 64, 64), 1, 16, ROW_MAJOR, degree=1)
+        parallel = default_plan(
+            (64, 64, 64), 1, 16, ROW_MAJOR, degree=1, loop_threads=4
+        )
+        assert predict_seconds(parallel, profile) == pytest.approx(
+            predict_seconds(serial, profile) / 4
+        )
+
+    def test_kernel_threads_fall_back_to_profiled_counts(self, profile):
+        plan = default_plan(
+            (64, 64, 64), 1, 16, ROW_MAJOR, degree=1, kernel_threads=3
+        )
+        # Profile has threads (1, 4); 3 falls back to 1 without error.
+        assert predict_seconds(plan, profile) > 0.0
+
+    def test_zero_rate_profile_raises(self):
+        from repro.util.errors import BenchmarkError
+
+        bad = GemmProfile([ShapePoint(16, 16, 16, 1, 0.0)])
+        plan = default_plan((16, 16, 16), 1, 16, ROW_MAJOR, degree=1)
+        with pytest.raises(BenchmarkError):
+            predict_seconds(plan, bad)
+
+
+class TestRankPlans:
+    def test_sorted_descending(self, profile):
+        plans = enumerate_plans((20,) * 5, 0, 16, ROW_MAJOR, 1)
+        ranked = rank_plans(plans, profile)
+        rates = [r for _p, r in ranked]
+        assert rates == sorted(rates, reverse=True)
+        assert len(ranked) == len(plans)
+
+    def test_tiny_kernels_rank_last(self, profile):
+        plans = enumerate_plans((20,) * 5, 0, 16, ROW_MAJOR, 1)
+        ranked = rank_plans(plans, profile)
+        assert ranked[-1][0].degree == 1  # the starved degree-1 plan

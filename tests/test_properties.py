@@ -1,0 +1,154 @@
+"""Algebraic property tests for the TTM operation itself.
+
+These pin the mathematical identities of the mode-n product (Kolda &
+Bader §2) on the *production* implementation — the input-adaptive
+generated code — rather than on any single kernel:
+
+* linearity in both arguments;
+* identity matrix acts as identity;
+* same-mode composition collapses to a matrix product;
+* distinct-mode products commute;
+* the mode-n product matches the matricized form U @ X_(n).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.inttm import ttm_inplace
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
+from repro.tensor.unfold import fold, unfold
+
+
+shapes = st.lists(st.integers(2, 5), min_size=1, max_size=4)
+
+
+def dense(shape, layout=ROW_MAJOR, seed=0):
+    rng = np.random.default_rng(seed)
+    return DenseTensor(rng.standard_normal(shape), layout)
+
+
+class TestLinearity:
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, data=st.data())
+    def test_linear_in_tensor(self, shape, data):
+        mode = data.draw(st.integers(0, len(shape) - 1))
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal(shape)
+        b = rng.standard_normal(shape)
+        u = rng.standard_normal((3, shape[mode]))
+        alpha, beta = 2.5, -1.25
+        combined = ttm_inplace(DenseTensor(alpha * a + beta * b), u, mode)
+        separate = (
+            alpha * ttm_inplace(DenseTensor(a), u, mode).data
+            + beta * ttm_inplace(DenseTensor(b), u, mode).data
+        )
+        assert np.allclose(combined.data, separate)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, data=st.data())
+    def test_linear_in_matrix(self, shape, data):
+        mode = data.draw(st.integers(0, len(shape) - 1))
+        rng = np.random.default_rng(2)
+        x = dense(shape, seed=3)
+        u = rng.standard_normal((3, shape[mode]))
+        v = rng.standard_normal((3, shape[mode]))
+        combined = ttm_inplace(x, u + v, mode)
+        separate = (
+            ttm_inplace(x, u, mode).data + ttm_inplace(x, v, mode).data
+        )
+        assert np.allclose(combined.data, separate)
+
+
+class TestIdentities:
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, data=st.data())
+    def test_identity_matrix_is_identity(self, shape, data):
+        mode = data.draw(st.integers(0, len(shape) - 1))
+        layout = data.draw(st.sampled_from([ROW_MAJOR, COL_MAJOR]))
+        x = dense(shape, layout, seed=4)
+        y = ttm_inplace(x, np.eye(shape[mode]), mode)
+        assert np.allclose(y.data, x.data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes, data=st.data())
+    def test_same_mode_composition_is_matrix_product(self, shape, data):
+        """(X x_n U) x_n V == X x_n (V U) — Kolda & Bader property 2."""
+        mode = data.draw(st.integers(0, len(shape) - 1))
+        rng = np.random.default_rng(5)
+        x = dense(shape, seed=6)
+        u = rng.standard_normal((3, shape[mode]))
+        v = rng.standard_normal((2, 3))
+        chained = ttm_inplace(ttm_inplace(x, u, mode), v, mode)
+        direct = ttm_inplace(x, v @ u, mode)
+        assert np.allclose(chained.data, direct.data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=shapes.filter(lambda s: len(s) >= 2), data=st.data())
+    def test_matricized_identity(self, shape, data):
+        """Y_(n) == U @ X_(n) — the equivalence Algorithm 1 exploits."""
+        mode = data.draw(st.integers(0, len(shape) - 1))
+        layout = data.draw(st.sampled_from([ROW_MAJOR, COL_MAJOR]))
+        rng = np.random.default_rng(7)
+        x = dense(shape, layout, seed=8)
+        u = rng.standard_normal((3, shape[mode]))
+        y = ttm_inplace(x, u, mode)
+        assert np.allclose(unfold(y, mode), u @ unfold(x, mode))
+
+    @settings(max_examples=15, deadline=None)
+    @given(shape=shapes.filter(lambda s: len(s) >= 2), data=st.data())
+    def test_fold_of_matricized_product_reconstructs(self, shape, data):
+        mode = data.draw(st.integers(0, len(shape) - 1))
+        rng = np.random.default_rng(9)
+        x = dense(shape, seed=10)
+        u = rng.standard_normal((2, shape[mode]))
+        y = ttm_inplace(x, u, mode)
+        rebuilt = fold(u @ unfold(x, mode), mode, y.shape, x.layout)
+        assert rebuilt.allclose(y.data)
+
+
+class TestProductionPathMatchesKernelPath:
+    """The facade (estimated plan + generated code) equals the plain
+    interpreter on every geometry in the shared case grid."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(shape=shapes, data=st.data())
+    def test_facade_equals_interpreter(self, shape, data):
+        mode = data.draw(st.integers(0, len(shape) - 1))
+        layout = data.draw(st.sampled_from([ROW_MAJOR, COL_MAJOR]))
+        j = data.draw(st.integers(1, 4))
+        rng = np.random.default_rng(11)
+        x = DenseTensor(rng.standard_normal(shape), layout)
+        u = rng.standard_normal((j, shape[mode]))
+        via_facade = repro.ttm(x, u, mode)
+        via_interpreter = ttm_inplace(x, u, mode)
+        assert np.allclose(via_facade.data, via_interpreter.data)
+
+
+class TestNumericalAccuracy:
+    def test_agreement_with_einsum_at_scale(self):
+        """Accumulation order differs between kernels; agreement must be
+        at the level of float64 dot-product conditioning."""
+        rng = np.random.default_rng(12)
+        x = DenseTensor(rng.standard_normal((40, 200, 30)))
+        u = rng.standard_normal((8, 200))
+        y = repro.ttm(x, u, 1)
+        reference = np.einsum("jk,ikl->ijl", u, x.data)
+        scale = np.abs(reference).max()
+        assert np.allclose(y.data, reference, atol=1e-10 * scale)
+
+    def test_ill_conditioned_cancellation(self):
+        """Columns that nearly cancel: results stay within a tight
+        multiple of machine epsilon times the accumulation magnitude."""
+        n = 128
+        x = DenseTensor(np.ones((4, n, 4)) * 1e8)
+        u = np.concatenate(
+            [np.ones((1, n)), -np.ones((1, n))], axis=0
+        )  # rows sum to +/- n * 1e8
+        u[1, 0] = -1.0 + 1e-8
+        y = repro.ttm(x, u, 1)
+        expected_row0 = n * 1e8
+        assert np.allclose(y.data[:, 0, :], expected_row0)

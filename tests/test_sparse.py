@@ -1,0 +1,239 @@
+"""Tests for the sparse tensor substrate (COO, semi-sparse, kernels)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    SemiSparseTensor,
+    SparseTensor,
+    mttkrp_sparse,
+    random_sparse,
+    ttm_sparse,
+)
+from repro.tensor.dense import DenseTensor
+from repro.util.errors import ShapeError
+from tests.helpers import ttm_oracle
+
+
+class TestSparseTensor:
+    def test_from_dense_roundtrip(self):
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((4, 5, 6))
+        dense[rng.random((4, 5, 6)) < 0.7] = 0.0
+        sp = SparseTensor.from_dense(dense)
+        assert sp.nnz == np.count_nonzero(dense)
+        assert np.allclose(sp.to_dense().data, dense)
+
+    def test_duplicates_are_summed(self):
+        idx = np.array([[0, 0], [0, 0], [1, 1]])
+        val = np.array([1.0, 2.0, 3.0])
+        sp = SparseTensor(idx, val, (2, 2))
+        assert sp.nnz == 2
+        assert sp.to_dense().data[0, 0] == 3.0
+
+    def test_explicit_zeros_dropped(self):
+        sp = SparseTensor(np.array([[0, 0]]), np.array([0.0]), (2, 2))
+        assert sp.nnz == 0
+
+    def test_cancellation_drops_entry(self):
+        idx = np.array([[1, 1], [1, 1]])
+        sp = SparseTensor(idx, np.array([2.0, -2.0]), (2, 2))
+        assert sp.nnz == 0
+
+    def test_canonical_order_is_lexicographic(self):
+        idx = np.array([[1, 0], [0, 1], [0, 0]])
+        sp = SparseTensor(idx, np.ones(3), (2, 2))
+        assert np.array_equal(sp.indices, [[0, 0], [0, 1], [1, 0]])
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ShapeError):
+            SparseTensor(np.array([[2, 0]]), np.ones(1), (2, 2))
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            SparseTensor(np.zeros((1, 2), dtype=int), np.ones(1), (2, 0))
+        with pytest.raises(ShapeError):
+            SparseTensor(np.zeros((1, 3), dtype=int), np.ones(1), (2, 2))
+        with pytest.raises(ShapeError):
+            SparseTensor(np.zeros((1, 2), dtype=int), np.ones(2), (2, 2))
+
+    def test_density_and_norm(self):
+        sp = SparseTensor(np.array([[0, 0], [1, 1]]),
+                          np.array([3.0, 4.0]), (2, 2))
+        assert sp.density == pytest.approx(0.5)
+        assert sp.norm() == pytest.approx(5.0)
+
+    def test_empty(self):
+        sp = SparseTensor.empty((3, 4))
+        assert sp.nnz == 0
+        assert np.all(sp.to_dense().data == 0.0)
+
+    def test_repr(self):
+        assert "nnz=0" in repr(SparseTensor.empty((2, 2)))
+
+
+class TestRandomSparse:
+    def test_density_respected(self):
+        sp = random_sparse((10, 10, 10), density=0.05, seed=1)
+        assert sp.nnz == 50
+
+    def test_deterministic(self):
+        a = random_sparse((8, 8), 0.2, seed=2)
+        b = random_sparse((8, 8), 0.2, seed=2)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.values, b.values)
+
+    def test_no_duplicates(self):
+        sp = random_sparse((5, 5), 0.8, seed=3)
+        assert len(np.unique(sp.indices, axis=0)) == sp.nnz
+
+    def test_zero_density(self):
+        assert random_sparse((4, 4), 0.0, seed=4).nnz == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_sparse((4, 4), 1.5)
+
+
+class TestTtmSparse:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_dense_oracle(self, mode):
+        rng = np.random.default_rng(5)
+        x = random_sparse((5, 6, 7), 0.15, seed=6)
+        u = rng.standard_normal((3, x.shape[mode]))
+        semi = ttm_sparse(x, u, mode)
+        expect = ttm_oracle(x.to_dense().data, u, mode)
+        assert np.allclose(semi.to_dense().data, expect)
+
+    def test_output_is_dense_along_mode(self):
+        x = random_sparse((6, 7, 8), 0.1, seed=7)
+        semi = ttm_sparse(x, np.ones((4, 7)), 1)
+        assert semi.dense_mode == 1
+        assert semi.shape == (6, 4, 8)
+        assert semi.block.shape == (semi.n_fibers, 4)
+
+    def test_fiber_count_matches_distinct_coordinates(self):
+        x = random_sparse((5, 5, 5), 0.2, seed=8)
+        semi = ttm_sparse(x, np.ones((2, 5)), 0)
+        distinct = len(np.unique(x.indices[:, 1:], axis=0))
+        assert semi.n_fibers == distinct
+
+    def test_semisparse_saves_storage_vs_dense(self):
+        x = random_sparse((20, 20, 20), 0.01, seed=9)
+        semi = ttm_sparse(x, np.ones((4, 20)), 1)
+        dense_words = 20 * 4 * 20
+        assert semi.storage_words < dense_words
+
+    def test_empty_input(self):
+        x = SparseTensor.empty((4, 5))
+        semi = ttm_sparse(x, np.ones((2, 5)), 1)
+        assert semi.n_fibers == 0
+        assert np.all(semi.to_dense().data == 0.0)
+
+    def test_order4(self):
+        rng = np.random.default_rng(10)
+        x = random_sparse((4, 3, 5, 2), 0.2, seed=11)
+        u = rng.standard_normal((2, 5))
+        semi = ttm_sparse(x, u, 2)
+        assert np.allclose(
+            semi.to_dense().data, ttm_oracle(x.to_dense().data, u, 2)
+        )
+
+    def test_validation(self):
+        x = random_sparse((4, 5), 0.2, seed=12)
+        with pytest.raises(TypeError):
+            ttm_sparse(np.zeros((4, 5)), np.ones((2, 5)), 1)
+        with pytest.raises(ShapeError):
+            ttm_sparse(x, np.ones((2, 6)), 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        shape=st.lists(st.integers(2, 5), min_size=2, max_size=4),
+        density=st.floats(0.05, 0.5),
+        j=st.integers(1, 4),
+        data=st.data(),
+    )
+    def test_property_matches_oracle(self, shape, density, j, data):
+        mode = data.draw(st.integers(0, len(shape) - 1))
+        x = random_sparse(shape, density, seed=13)
+        rng = np.random.default_rng(14)
+        u = rng.standard_normal((j, shape[mode]))
+        semi = ttm_sparse(x, u, mode)
+        assert np.allclose(
+            semi.to_dense().data, ttm_oracle(x.to_dense().data, u, mode)
+        )
+
+
+class TestSemiSparseTensor:
+    def test_densification(self):
+        semi = SemiSparseTensor(
+            np.array([[0, 0], [1, 2]]), np.ones((2, 3)), (2, 3, 3), 1
+        )
+        assert semi.densification == pytest.approx(2 / 6)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            SemiSparseTensor(np.zeros((1, 2), dtype=int), np.ones((1, 3)),
+                             (2, 3), 1)  # order mismatch
+        with pytest.raises(ShapeError):
+            SemiSparseTensor(np.zeros((1, 1), dtype=int), np.ones((1, 4)),
+                             (2, 3), 1)  # block width != extent
+        with pytest.raises(ShapeError):
+            SemiSparseTensor(np.array([[5]]), np.ones((1, 3)), (2, 3), 1)
+
+    def test_norm(self):
+        semi = SemiSparseTensor(
+            np.array([[0]]), np.array([[3.0, 4.0]]), (2, 2), 1
+        )
+        assert semi.norm() == pytest.approx(5.0)
+
+
+class TestMttkrpSparse:
+    def mttkrp_dense_oracle(self, x_dense, factors, mode):
+        from tests.test_decomp_cp import mttkrp_oracle
+
+        return mttkrp_oracle(x_dense, factors, mode)
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_dense_oracle(self, mode):
+        rng = np.random.default_rng(15)
+        shape, rank = (5, 6, 7), 3
+        x = random_sparse(shape, 0.2, seed=16)
+        factors = [rng.standard_normal((s, rank)) for s in shape]
+        got = mttkrp_sparse(x, factors, mode)
+        expect = self.mttkrp_dense_oracle(x.to_dense().data, factors, mode)
+        assert np.allclose(got, expect)
+
+    def test_empty_tensor_gives_zeros(self):
+        x = SparseTensor.empty((3, 4))
+        factors = [np.ones((3, 2)), np.ones((4, 2))]
+        assert np.all(mttkrp_sparse(x, factors, 0) == 0.0)
+
+    def test_validation(self):
+        x = random_sparse((3, 4), 0.5, seed=17)
+        with pytest.raises(ShapeError):
+            mttkrp_sparse(x, [np.ones((3, 2))], 0)
+        with pytest.raises(ShapeError):
+            mttkrp_sparse(x, [np.ones((3, 2)), np.ones((5, 2))], 0)
+        with pytest.raises(TypeError):
+            mttkrp_sparse(np.zeros((3, 4)), [np.ones((3, 2))] * 2, 0)
+
+    def test_cp_als_runs_on_sparsified_input(self):
+        """The dense CP-ALS with a sparse MTTKRP backend closure."""
+        from repro.decomp.cp import cp_als
+
+        rng = np.random.default_rng(18)
+        dense = np.zeros((6, 5, 4))
+        dense[rng.random(dense.shape) < 0.3] = 1.0
+        x_dense = DenseTensor(dense)
+        x_sparse = SparseTensor.from_dense(dense)
+
+        def backend(_x, factors, mode):
+            return mttkrp_sparse(x_sparse, factors, mode)
+
+        result = cp_als(x_dense, 3, max_iterations=10,
+                        mttkrp_backend=backend)
+        reference = cp_als(x_dense, 3, max_iterations=10)
+        assert result.fit == pytest.approx(reference.fit, abs=1e-8)

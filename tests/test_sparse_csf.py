@@ -1,0 +1,152 @@
+"""Tests for the compressed-sparse-fiber (CSF) format and its MTTKRP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    CsfTensor,
+    SparseTensor,
+    csf_mttkrp,
+    mttkrp_sparse,
+    random_sparse,
+)
+from repro.util.errors import ShapeError
+
+
+class TestConstruction:
+    def test_roundtrip_to_coo(self):
+        x = random_sparse((6, 5, 7), 0.2, seed=0)
+        back = CsfTensor.from_coo(x).to_coo()
+        assert np.array_equal(back.indices, x.indices)
+        assert np.allclose(back.values, x.values)
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5])
+    def test_roundtrip_any_order(self, order):
+        x = random_sparse((4,) * order, 0.3, seed=order)
+        back = CsfTensor.from_coo(x).to_coo()
+        assert np.array_equal(back.indices, x.indices)
+        assert np.allclose(back.values, x.values)
+
+    def test_default_mode_order_puts_shortest_first(self):
+        x = random_sparse((9, 2, 5), 0.3, seed=1)
+        csf = CsfTensor.from_coo(x)
+        assert csf.mode_order[0] == 1  # extent 2 is shortest
+
+    def test_explicit_mode_order(self):
+        x = random_sparse((4, 5, 6), 0.3, seed=2)
+        csf = CsfTensor.from_coo(x, mode_order=(2, 0, 1))
+        assert csf.root_mode == 2
+        back = csf.to_coo()
+        assert np.array_equal(back.indices, x.indices)
+
+    def test_bad_mode_order_rejected(self):
+        x = random_sparse((4, 5), 0.3, seed=3)
+        with pytest.raises(ShapeError):
+            CsfTensor.from_coo(x, mode_order=(0, 0))
+
+    def test_rejects_non_sparse(self):
+        with pytest.raises(TypeError):
+            CsfTensor.from_coo(np.zeros((3, 3)))
+
+    def test_empty_tensor(self):
+        x = SparseTensor.empty((3, 4, 5))
+        csf = CsfTensor.from_coo(x)
+        assert csf.nnz == 0
+        assert csf.to_coo().nnz == 0
+
+    def test_levels_are_consistent(self):
+        x = random_sparse((5, 6, 7), 0.25, seed=4)
+        csf = CsfTensor.from_coo(x)
+        # One fids array per level, pointers chain level sizes.
+        assert len(csf.fids) == 3 and len(csf.fptr) == 3
+        for level in range(2):
+            assert csf.fptr[level][-1] == csf.fids[level + 1].size
+        assert csf.fptr[2][-1] == csf.nnz
+
+
+class TestCompression:
+    def test_compression_beats_coo_on_clustered_data(self):
+        """Dense-ish sparse tensors share long prefixes: CSF compresses."""
+        x = random_sparse((20, 20, 20), 0.5, seed=5)
+        csf = CsfTensor.from_coo(x)
+        assert csf.compression_vs_coo() > 1.0
+
+    def test_storage_words_accounting(self):
+        x = random_sparse((4, 4), 0.5, seed=6)
+        csf = CsfTensor.from_coo(x)
+        expected = (
+            csf.values.size
+            + sum(f.size for f in csf.fids)
+            + sum(p.size for p in csf.fptr)
+        )
+        assert csf.storage_words == expected
+
+
+class TestCsfMttkrp:
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_matches_coo_kernel_every_mode(self, mode):
+        x = random_sparse((6, 5, 7, 4), 0.2, seed=7)
+        csf = CsfTensor.from_coo(x)
+        rng = np.random.default_rng(8)
+        factors = [rng.standard_normal((s, 3)) for s in x.shape]
+        assert np.allclose(
+            csf_mttkrp(csf, factors, mode), mttkrp_sparse(x, factors, mode)
+        )
+
+    def test_root_mode_needs_no_recompression(self):
+        x = random_sparse((5, 6, 7), 0.25, seed=9)
+        csf = CsfTensor.from_coo(x, mode_order=(1, 0, 2))
+        rng = np.random.default_rng(10)
+        factors = [rng.standard_normal((s, 2)) for s in x.shape]
+        got = csf_mttkrp(csf, factors, 1)
+        assert np.allclose(got, mttkrp_sparse(x, factors, 1))
+
+    def test_order1(self):
+        x = random_sparse((8,), 0.5, seed=11)
+        csf = CsfTensor.from_coo(x)
+        out = csf_mttkrp(csf, [np.ones((8, 2))], 0)
+        assert np.allclose(out, x.to_dense().data[:, None] * np.ones((1, 2)))
+
+    def test_order2_is_spmm(self):
+        x = random_sparse((6, 8), 0.4, seed=12)
+        csf = CsfTensor.from_coo(x)
+        rng = np.random.default_rng(13)
+        b = rng.standard_normal((8, 3))
+        factors = [np.ones((6, 3)), b]
+        assert np.allclose(
+            csf_mttkrp(csf, factors, 0), x.to_dense().data @ b
+        )
+
+    def test_empty(self):
+        x = SparseTensor.empty((4, 5))
+        csf = CsfTensor.from_coo(x)
+        out = csf_mttkrp(csf, [np.ones((4, 2)), np.ones((5, 2))], 0)
+        assert np.all(out == 0.0)
+
+    def test_validation(self):
+        x = random_sparse((4, 5), 0.5, seed=14)
+        csf = CsfTensor.from_coo(x)
+        with pytest.raises(TypeError):
+            csf_mttkrp(x, [np.ones((4, 2)), np.ones((5, 2))], 0)
+        with pytest.raises(ShapeError):
+            csf_mttkrp(csf, [np.ones((4, 2))], 0)
+        with pytest.raises(ShapeError):
+            csf_mttkrp(csf, [np.ones((4, 2)), np.ones((9, 2))], 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        shape=st.lists(st.integers(2, 5), min_size=2, max_size=4),
+        density=st.floats(0.1, 0.6),
+        data=st.data(),
+    )
+    def test_property_matches_coo_kernel(self, shape, density, data):
+        mode = data.draw(st.integers(0, len(shape) - 1))
+        x = random_sparse(shape, density, seed=15)
+        csf = CsfTensor.from_coo(x)
+        rng = np.random.default_rng(16)
+        factors = [rng.standard_normal((s, 2)) for s in shape]
+        assert np.allclose(
+            csf_mttkrp(csf, factors, mode), mttkrp_sparse(x, factors, mode)
+        )

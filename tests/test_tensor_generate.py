@@ -1,0 +1,95 @@
+"""Tests for synthetic tensor generators."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.generate import (
+    arange_tensor,
+    low_rank_tensor,
+    md_trajectory_tensor,
+    random_tensor,
+)
+from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
+from repro.tensor.unfold import unfold
+
+
+class TestRandomTensor:
+    def test_shape_and_layout(self):
+        t = random_tensor((3, 4), COL_MAJOR, seed=0)
+        assert t.shape == (3, 4)
+        assert t.layout is COL_MAJOR
+
+    def test_deterministic(self):
+        a = random_tensor((3, 4), seed=1)
+        b = random_tensor((3, 4), seed=1)
+        assert np.array_equal(a.data, b.data)
+
+    def test_different_seeds_differ(self):
+        a = random_tensor((3, 4), seed=1)
+        b = random_tensor((3, 4), seed=2)
+        assert not np.array_equal(a.data, b.data)
+
+
+class TestArangeTensor:
+    def test_values_follow_storage_order(self):
+        c = arange_tensor((2, 3), ROW_MAJOR)
+        assert c.data[0, 0] == 1 and c.data[0, 1] == 2
+        f = arange_tensor((2, 3), COL_MAJOR)
+        assert f.data[0, 0] == 1 and f.data[1, 0] == 2
+
+    def test_custom_start(self):
+        t = arange_tensor((2, 2), start=0)
+        assert t.data.min() == 0 and t.data.max() == 3
+
+
+class TestLowRankTensor:
+    def test_exact_low_rank_has_low_rank_unfoldings(self):
+        t = low_rank_tensor((8, 9, 10), ranks=(2, 3, 4), seed=3)
+        for mode, rank in enumerate((2, 3, 4)):
+            s = np.linalg.svd(unfold(t, mode), compute_uv=False)
+            assert np.sum(s > 1e-8 * s[0]) == rank
+
+    def test_scalar_rank_broadcasts(self):
+        t = low_rank_tensor((6, 7, 8), ranks=2, seed=4)
+        s = np.linalg.svd(unfold(t, 0), compute_uv=False)
+        assert np.sum(s > 1e-8 * s[0]) == 2
+
+    def test_rank_clamped_to_dimension(self):
+        t = low_rank_tensor((2, 7), ranks=5, seed=5)
+        assert t.shape == (2, 7)
+
+    def test_noise_perturbs_rank(self):
+        t = low_rank_tensor((6, 6, 6), ranks=2, noise=0.1, seed=6)
+        s = np.linalg.svd(unfold(t, 0), compute_uv=False)
+        assert np.sum(s > 1e-8 * s[0]) > 2
+
+    def test_rank_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            low_rank_tensor((3, 4, 5), ranks=(2, 2), seed=7)
+
+    def test_returns_dense_tensor_with_layout(self):
+        t = low_rank_tensor((3, 4), ranks=2, layout=COL_MAJOR, seed=8)
+        assert isinstance(t, DenseTensor)
+        assert t.layout is COL_MAJOR
+
+
+class TestMdTrajectory:
+    def test_shape(self):
+        t = md_trajectory_tensor(16, 10, seed=9)
+        assert t.shape == (16, 10, 3)
+
+    def test_collective_motion_dominates_noise(self):
+        """Centred trajectories concentrate variance in few temporal modes."""
+        t = md_trajectory_tensor(64, 20, n_modes=2, seed=10)
+        frames = t.data.reshape(64, -1)
+        centered = frames - frames.mean(axis=0)
+        s = np.linalg.svd(centered, compute_uv=False)
+        energy = np.cumsum(s**2) / np.sum(s**2)
+        assert energy[1] > 0.9  # two collective modes carry the signal
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            md_trajectory_tensor(0, 5)
+        with pytest.raises(TypeError):
+            md_trajectory_tensor(2.5, 5)

@@ -1,0 +1,131 @@
+"""Unit tests for repro.tensor.layout."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.layout import (
+    COL_MAJOR,
+    ROW_MAJOR,
+    Layout,
+    contiguous_mode_runs,
+    element_strides,
+    is_contiguous_run,
+    leading_mode,
+    linear_index,
+    merged_extent,
+    storage_order,
+)
+from repro.util.errors import LayoutError
+
+
+class TestLayoutParse:
+    def test_parse_layout_passthrough(self):
+        assert Layout.parse(ROW_MAJOR) is ROW_MAJOR
+        assert Layout.parse(COL_MAJOR) is COL_MAJOR
+
+    @pytest.mark.parametrize("text", ["C", "c", "row", "ROW_MAJOR", "row-major"])
+    def test_parse_row_major_spellings(self, text):
+        assert Layout.parse(text) is ROW_MAJOR
+
+    @pytest.mark.parametrize("text", ["F", "f", "col", "COL_MAJOR", "column_major"])
+    def test_parse_col_major_spellings(self, text):
+        assert Layout.parse(text) is COL_MAJOR
+
+    @pytest.mark.parametrize("bad", ["X", "", 3, None])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(LayoutError):
+            Layout.parse(bad)
+
+    def test_numpy_order_characters(self):
+        assert ROW_MAJOR.numpy_order == "C"
+        assert COL_MAJOR.numpy_order == "F"
+
+
+class TestElementStrides:
+    def test_row_major_strides(self):
+        assert element_strides((3, 4, 5), ROW_MAJOR) == (20, 5, 1)
+
+    def test_col_major_strides(self):
+        assert element_strides((3, 4, 5), COL_MAJOR) == (1, 3, 12)
+
+    def test_scalar_shape(self):
+        assert element_strides((), ROW_MAJOR) == ()
+        assert element_strides((), COL_MAJOR) == ()
+
+    def test_vector_strides_match_both_layouts(self):
+        assert element_strides((7,), ROW_MAJOR) == (1,)
+        assert element_strides((7,), COL_MAJOR) == (1,)
+
+    @pytest.mark.parametrize("layout", [ROW_MAJOR, COL_MAJOR])
+    def test_agrees_with_numpy(self, layout):
+        shape = (2, 3, 4, 5)
+        arr = np.empty(shape, order=layout.numpy_order)
+        np_strides = tuple(s // arr.itemsize for s in arr.strides)
+        assert element_strides(shape, layout) == np_strides
+
+
+class TestStorageOrder:
+    def test_row_major_order(self):
+        assert storage_order(4, ROW_MAJOR) == (0, 1, 2, 3)
+
+    def test_col_major_order(self):
+        assert storage_order(4, COL_MAJOR) == (3, 2, 1, 0)
+
+    def test_leading_mode(self):
+        assert leading_mode(3, ROW_MAJOR) == 2
+        assert leading_mode(3, COL_MAJOR) == 0
+
+    def test_leading_mode_rejects_scalar(self):
+        with pytest.raises(LayoutError):
+            leading_mode(0, ROW_MAJOR)
+
+
+class TestLinearIndex:
+    @pytest.mark.parametrize("layout", [ROW_MAJOR, COL_MAJOR])
+    def test_matches_numpy_flat_position(self, layout):
+        shape = (3, 4, 2)
+        arr = np.arange(24, dtype=float).reshape(-1)
+        cube = arr.reshape(shape, order=layout.numpy_order)
+        for i in range(3):
+            for j in range(4):
+                for k in range(2):
+                    offset = linear_index((i, j, k), shape, layout)
+                    assert cube[i, j, k] == arr[offset]
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(IndexError):
+            linear_index((3, 0), (3, 4), ROW_MAJOR)
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(LayoutError):
+            linear_index((0, 0), (3, 4, 5), ROW_MAJOR)
+
+
+class TestContiguityPredicates:
+    def test_single_mode_is_a_run(self):
+        assert is_contiguous_run([2], 4)
+
+    def test_consecutive_modes_are_a_run(self):
+        assert is_contiguous_run([1, 2, 3], 5)
+
+    def test_gap_is_not_a_run(self):
+        assert not is_contiguous_run([0, 2], 4)
+
+    def test_empty_is_not_a_run(self):
+        assert not is_contiguous_run([], 4)
+
+    def test_out_of_range_is_not_a_run(self):
+        assert not is_contiguous_run([3, 4], 4)
+
+    def test_merged_extent(self):
+        assert merged_extent((3, 4, 5), (1, 2)) == 20
+        assert merged_extent((3, 4, 5), ()) == 1
+
+    def test_contiguous_mode_runs_splits_gaps(self):
+        assert contiguous_mode_runs([0, 1, 3, 5, 6]) == [(0, 1), (3,), (5, 6)]
+
+    def test_contiguous_mode_runs_handles_unsorted(self):
+        assert contiguous_mode_runs([3, 1, 0]) == [(0, 1), (3,)]
+
+    def test_contiguous_mode_runs_empty(self):
+        assert contiguous_mode_runs([]) == []

@@ -1,0 +1,175 @@
+"""Unit + property tests for mode-n unfolding/folding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.generate import arange_tensor
+from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
+from repro.tensor.unfold import (
+    fold,
+    inverse_permutation,
+    logical_unfold,
+    logical_unfold_axes,
+    unfold,
+    unfold_permutation,
+    vec,
+)
+from repro.util.errors import LayoutError, ShapeError
+
+
+class TestPermutations:
+    def test_unfold_permutation_moves_mode_first(self):
+        assert unfold_permutation(4, 2) == (2, 0, 1, 3)
+        assert unfold_permutation(3, 0) == (0, 1, 2)
+
+    def test_unfold_permutation_validates_mode(self):
+        with pytest.raises(ShapeError):
+            unfold_permutation(3, 3)
+
+    def test_inverse_permutation(self):
+        perm = (2, 0, 1, 3)
+        inv = inverse_permutation(perm)
+        assert tuple(perm[i] for i in inv) == (0, 1, 2, 3)
+        assert tuple(inv[i] for i in perm) == (0, 1, 2, 3)
+
+
+class TestPaperExample:
+    """Equation (3): the 3x4x2 tensor with elements 1..24 (MATLAB order)."""
+
+    @pytest.fixture()
+    def x(self):
+        return arange_tensor((3, 4, 2), layout=COL_MAJOR)
+
+    def test_mode0_unfolding(self, x):
+        expected = np.array(
+            [
+                [1, 4, 7, 10, 13, 16, 19, 22],
+                [2, 5, 8, 11, 14, 17, 20, 23],
+                [3, 6, 9, 12, 15, 18, 21, 24],
+            ],
+            dtype=float,
+        )
+        assert np.array_equal(unfold(x, 0), expected)
+
+    def test_mode1_unfolding(self, x):
+        expected = np.array(
+            [
+                [1, 2, 3, 13, 14, 15],
+                [4, 5, 6, 16, 17, 18],
+                [7, 8, 9, 19, 20, 21],
+                [10, 11, 12, 22, 23, 24],
+            ],
+            dtype=float,
+        )
+        assert np.array_equal(unfold(x, 1), expected)
+
+    def test_mode2_unfolding(self, x):
+        expected = np.vstack(
+            [np.arange(1, 13, dtype=float), np.arange(13, 25, dtype=float)]
+        )
+        assert np.array_equal(unfold(x, 2), expected)
+
+
+class TestUnfoldFoldRoundtrip:
+    @pytest.mark.parametrize("layout", [ROW_MAJOR, COL_MAJOR])
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_roundtrip_order4(self, layout, mode):
+        t = DenseTensor.random((2, 3, 4, 5), layout, seed=11)
+        mat = unfold(t, mode)
+        back = fold(mat, mode, t.shape, layout)
+        assert back.allclose(t.data)
+        assert back.layout is layout
+
+    def test_unfold_output_contiguity_matches_layout(self):
+        t = DenseTensor.random((3, 4, 5), ROW_MAJOR, seed=12)
+        assert unfold(t, 1).flags["C_CONTIGUOUS"]
+        f = DenseTensor.random((3, 4, 5), COL_MAJOR, seed=12)
+        assert unfold(f, 1).flags["F_CONTIGUOUS"]
+
+    def test_unfold_always_copies(self):
+        t = DenseTensor.random((3, 4), ROW_MAJOR, seed=13)
+        assert not np.shares_memory(unfold(t, 0), t.data)
+
+    def test_fold_shape_mismatch_raises(self):
+        with pytest.raises(LayoutError):
+            fold(np.zeros((3, 5)), 0, (3, 4), ROW_MAJOR)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        shape=st.lists(st.integers(1, 5), min_size=1, max_size=5),
+        layout=st.sampled_from([ROW_MAJOR, COL_MAJOR]),
+        data=st.data(),
+    )
+    def test_property_roundtrip(self, shape, layout, data):
+        mode = data.draw(st.integers(0, len(shape) - 1))
+        t = DenseTensor(
+            np.arange(int(np.prod(shape)), dtype=float).reshape(shape), layout
+        )
+        assert fold(unfold(t, mode), mode, shape, layout).allclose(t.data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        shape=st.lists(st.integers(1, 5), min_size=2, max_size=4),
+        layout=st.sampled_from([ROW_MAJOR, COL_MAJOR]),
+        data=st.data(),
+    )
+    def test_property_unfold_columns_enumerate_fibers(self, shape, layout, data):
+        """Column j of X_(n) is a mode-n fiber: every column, as a set of
+        values, appears as some fiber of the tensor."""
+        mode = data.draw(st.integers(0, len(shape) - 1))
+        t = DenseTensor(
+            np.arange(int(np.prod(shape)), dtype=float).reshape(shape), layout
+        )
+        mat = unfold(t, mode)
+        fibers = np.moveaxis(t.data, mode, 0).reshape(shape[mode], -1)
+        got = {tuple(col) for col in mat.T}
+        expected = {tuple(col) for col in fibers.T}
+        assert got == expected
+
+
+class TestLogicalUnfold:
+    def test_row_major_mode0_is_view(self):
+        t = DenseTensor.random((3, 4, 5), ROW_MAJOR, seed=14)
+        lu = logical_unfold(t, 0)
+        assert np.shares_memory(lu, t.data)
+        assert np.array_equal(lu, unfold(t, 0))
+
+    def test_col_major_last_mode_is_view(self):
+        t = DenseTensor.random((3, 4, 5), COL_MAJOR, seed=15)
+        lu = logical_unfold(t, 2)
+        assert np.shares_memory(lu, t.data)
+        assert np.array_equal(lu, unfold(t, 2))
+
+    def test_other_modes_raise(self):
+        t = DenseTensor.random((3, 4, 5), ROW_MAJOR, seed=16)
+        with pytest.raises(LayoutError):
+            logical_unfold(t, 1)
+        with pytest.raises(LayoutError):
+            logical_unfold(t, 2)
+
+    def test_logical_unfold_axes(self):
+        assert logical_unfold_axes(4, ROW_MAJOR) == (0,)
+        assert logical_unfold_axes(4, COL_MAJOR) == (3,)
+        assert logical_unfold_axes(0, ROW_MAJOR) == ()
+
+    def test_order1_unfolds_as_column(self):
+        t = DenseTensor(np.arange(4, dtype=float))
+        assert logical_unfold(t, 0).shape == (4, 1)
+
+
+class TestVec:
+    def test_vec_row_major(self):
+        t = arange_tensor((2, 3), ROW_MAJOR)
+        assert np.array_equal(vec(t), np.arange(1.0, 7.0))
+
+    def test_vec_col_major_follows_storage(self):
+        t = arange_tensor((2, 3), COL_MAJOR)
+        assert np.array_equal(vec(t), np.arange(1.0, 7.0))
+
+    def test_vec_is_view(self):
+        t = DenseTensor.zeros((2, 2))
+        vec(t)[0] = 3.0
+        assert t.data[0, 0] == 3.0

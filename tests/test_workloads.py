@@ -1,0 +1,67 @@
+"""Tests for the application-domain workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.decomp import hosvd
+from repro.tensor.layout import COL_MAJOR
+from repro.tensor.unfold import unfold
+from repro.tensor.workloads import eeg_tensor, image_ensemble_tensor
+
+
+class TestEegTensor:
+    def test_shape_and_determinism(self):
+        a = eeg_tensor(8, 6, 32, seed=0)
+        b = eeg_tensor(8, 6, 32, seed=0)
+        assert a.shape == (8, 6, 32)
+        assert np.array_equal(a.data, b.data)
+
+    def test_sources_concentrate_multilinear_energy(self):
+        """With little noise, n_sources trilinear components capture
+        almost all energy in every unfolding."""
+        x = eeg_tensor(16, 12, 64, n_sources=3, noise=0.01, seed=1)
+        for mode in range(3):
+            s = np.linalg.svd(unfold(x, mode), compute_uv=False)
+            energy = np.cumsum(s**2) / np.sum(s**2)
+            assert energy[2] > 0.95
+
+    def test_noise_raises_effective_rank(self):
+        clean = eeg_tensor(12, 10, 48, n_sources=2, noise=0.0, seed=2)
+        noisy = eeg_tensor(12, 10, 48, n_sources=2, noise=0.5, seed=2)
+        s_clean = np.linalg.svd(unfold(clean, 0), compute_uv=False)
+        s_noisy = np.linalg.svd(unfold(noisy, 0), compute_uv=False)
+        tail_clean = np.sum(s_clean[2:] ** 2) / np.sum(s_clean**2)
+        tail_noisy = np.sum(s_noisy[2:] ** 2) / np.sum(s_noisy**2)
+        assert tail_noisy > tail_clean
+
+    def test_layout_option(self):
+        x = eeg_tensor(4, 4, 8, layout=COL_MAJOR, seed=3)
+        assert x.layout is COL_MAJOR
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            eeg_tensor(0, 4, 8)
+
+
+class TestImageEnsembleTensor:
+    def test_shape(self):
+        x = image_ensemble_tensor(6, 3, 2, 64, seed=4)
+        assert x.shape == (6, 3, 2, 64)
+
+    def test_low_multilinear_rank_structure(self):
+        x = image_ensemble_tensor(10, 5, 4, 128, rank=3, noise=0.0, seed=5)
+        result = hosvd(x, (3, 3, 3, 6))
+        assert result.fit > 0.999
+
+    def test_rank_clamped_to_extents(self):
+        x = image_ensemble_tensor(3, 2, 2, 32, rank=10, seed=6)
+        assert x.shape == (3, 2, 2, 32)
+
+    def test_deterministic(self):
+        a = image_ensemble_tensor(4, 3, 2, 32, seed=7)
+        b = image_ensemble_tensor(4, 3, 2, 32, seed=7)
+        assert np.array_equal(a.data, b.data)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            image_ensemble_tensor(4, 3, 2, 32, rank=0)
