@@ -40,6 +40,7 @@ _BENCHES = {
     "tucker": "bench_tucker_e2e",
     "sparse": "bench_sparse_ttm",
     "distributed": "bench_distributed_ttm",
+    "batched": "bench_batched_inttm",
     "ablation-chain": "bench_ablation_chain",
     "ablation-estimator": "bench_ablation_estimator",
     "ablation-degree": "bench_ablation_degree",

@@ -17,14 +17,17 @@ axes without copying.  A defensive check at first call verifies this.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.core.plan import Strategy, TtmPlan
+from repro.gemm.batched import gemm_batched
 from repro.gemm.blocked import gemm_blocked
 from repro.gemm.interface import gemm
 from repro.gemm.threaded import gemm_threaded
 from repro.parallel.parfor import parfor
-from repro.tensor.layout import Layout
+from repro.tensor.layout import Layout, element_strides
 
 _CACHE: dict[TtmPlan, object] = {}
 
@@ -134,6 +137,129 @@ def _batched_form(plan: TtmPlan) -> str | None:
     return None
 
 
+def _batch_view_exprs(plan: TtmPlan) -> tuple[str, str, str, str]:
+    """Literal ``as_strided`` expressions for the batched operand views.
+
+    Returns ``(x3_expr, y3_expr, x_offset, y_offset)`` where the offset
+    strings are linear forms in the outer loop variables (``'0'`` when no
+    outer loop remains).  All extents and byte strides are resolved to
+    literals at generation time — the generated body does no stride
+    arithmetic beyond the offset dot-product.
+    """
+    forward = plan.strategy is Strategy.FORWARD or plan.degree == 0
+    x_strides = element_strides(plan.shape, plan.layout)
+    y_strides = element_strides(plan.out_shape, plan.layout)
+    outer = plan.outer_loop_modes
+    batch = plan.batch_modes
+    comp = plan.component_modes
+    b = plan.batch_extent
+    i_n, p, j = plan.i_n, plan.component_extent, plan.j
+
+    def run_stride(strides, shape, run):
+        # Merged-run element stride: the smallest stride of its non-size-1
+        # modes (nesting already validated by the plan); 1 for empty runs.
+        effective = [m for m in run if shape[m] != 1]
+        return min(strides[m] for m in effective) if effective else 1
+
+    def views(strides, shape, row_extent):
+        bs = run_stride(strides, shape, batch)
+        rs = strides[plan.mode]
+        cs = run_stride(strides, shape, comp)
+        if forward:
+            return (b, row_extent, p), (bs * 8, rs * 8, cs * 8)
+        return (b, p, row_extent), (bs * 8, cs * 8, rs * 8)
+
+    x_extents, x_bstrides = views(x_strides, plan.shape, i_n)
+    y_extents, y_bstrides = views(y_strides, plan.out_shape, j)
+    x_off = " + ".join(
+        f"i{m}*{x_strides[m]}" for m in outer
+    ) or "0"
+    y_off = " + ".join(
+        f"i{m}*{y_strides[m]}" for m in outer
+    ) or "0"
+    x3 = f"_as_strided(xf[{{off}}:], {x_extents}, {x_bstrides})"
+    y3 = f"_as_strided(yf[{{off}}:], {y_extents}, {y_bstrides})"
+    return x3, y3, x_off, y_off
+
+
+def _generic_batched_source(plan: TtmPlan) -> list[str] | None:
+    """Body lines for the batch-modes execution shape, or None.
+
+    Applies whenever the plan marks a batchable run and the inner kernel
+    is the BLAS fast path: the batched run becomes one literal
+    ``np.matmul`` over rank-3 strided views, any outer loop-mode residue
+    stays a literal (or parfor-driven) nest.  Unlike
+    :func:`_batched_form`'s full-collapse reshapes, this handles partial
+    collapses — the general engine the interpreter executor also uses.
+    """
+    if not plan.batch_modes:
+        return None
+    if plan.kernel_threads > 1 or plan.kernel not in ("blas", "auto"):
+        return None
+    forward = plan.strategy is Strategy.FORWARD or plan.degree == 0
+    x3_t, y3_t, x_off, y_off = _batch_view_exprs(plan)
+    call = "np.matmul(u, x3, out=y3)" if forward else "np.matmul(x3, ut, out=y3)"
+    indent = "    "
+    lines: list[str] = []
+    lines.append(f"{indent}xf = x.reshape(-1, order='A')")
+    lines.append(f"{indent}yf = y.reshape(-1, order='A')")
+    if not forward:
+        lines.append(f"{indent}ut = u.T")
+    outer = plan.outer_loop_modes
+    if not outer:
+        lines.append(f"{indent}x3 = " + x3_t.format(off="0"))
+        lines.append(f"{indent}y3 = " + y3_t.format(off="0"))
+        if plan.loop_threads > 1 and plan.batch_extent > 1:
+            # No outer nest to split: chunk the batch run over P_L workers.
+            n_chunks = min(plan.loop_threads, plan.batch_extent)
+            chunk = math.ceil(plan.batch_extent / n_chunks)
+            inner = call.replace("x3", "x3[lo:hi]").replace("y3", "y3[lo:hi]")
+            lines.append(f"{indent}def body(_index):")
+            lines.append(f"{indent}    lo = _index[0] * {chunk}")
+            lines.append(
+                f"{indent}    hi = min(lo + {chunk}, {plan.batch_extent})"
+            )
+            lines.append(f"{indent}    {inner}")
+            lines.append(
+                f"{indent}parfor(({n_chunks},), body, "
+                f"threads={plan.loop_threads})"
+            )
+        else:
+            lines.append(f"{indent}{call}")
+        return lines
+
+    body_lines = [
+        "x3 = " + x3_t.format(off=x_off),
+        "y3 = " + y3_t.format(off=y_off),
+        call,
+    ]
+    loop_vars = {m: f"i{m}" for m in outer}
+    if plan.loop_threads > 1:
+        var_tuple = ", ".join(loop_vars[m] for m in outer)
+        lines.append(f"{indent}def body(_index):")
+        if len(outer) > 1:
+            lines.append(f"{indent}    {var_tuple} = _index")
+        else:
+            lines.append(f"{indent}    ({var_tuple},) = _index")
+        for bl in body_lines:
+            lines.append(f"{indent}    {bl}")
+        extents = plan.outer_loop_extents
+        lines.append(
+            f"{indent}parfor({extents!r}, body, threads={plan.loop_threads})"
+        )
+    else:
+        depth = 0
+        for m in outer:
+            lines.append(
+                f"{indent}{'    ' * depth}for {loop_vars[m]} in "
+                f"range({plan.shape[m]}):"
+            )
+            depth += 1
+        for bl in body_lines:
+            lines.append(f"{indent}{'    ' * depth}{bl}")
+    return lines
+
+
 def generate_source(plan: TtmPlan, function_name: str = "inttm") -> str:
     """Python source of the specialized TTM for *plan*.
 
@@ -164,6 +290,9 @@ def generate_source(plan: TtmPlan, function_name: str = "inttm") -> str:
         return (
             "\n".join(lines) + "\n" + batched + f"{indent}return y\n"
         )
+    generic = _generic_batched_source(plan)
+    if generic is not None:
+        return "\n".join(lines + generic + [f"{indent}return y"]) + "\n"
     if not forward and plan.degree > 0:
         lines.append(f"{indent}ut = u.T")
 
@@ -217,7 +346,9 @@ def compile_plan(plan: TtmPlan):
     source = generate_source(plan)
     namespace = {
         "np": np,
+        "_as_strided": np.lib.stride_tricks.as_strided,
         "gemm": gemm,
+        "gemm_batched": gemm_batched,
         "gemm_blocked": gemm_blocked,
         "gemm_threaded": gemm_threaded,
         "parfor": parfor,

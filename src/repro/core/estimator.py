@@ -25,6 +25,7 @@ from repro.core.partition import (
     PAPER_THRESHOLDS,
     Thresholds,
     available_modes_for_strategy,
+    choose_batch_modes,
     choose_degree,
     component_modes_for_strategy,
     derive_thresholds,
@@ -143,6 +144,7 @@ class ParameterEstimator:
             loop_threads=alloc.loop_threads,
             kernel_threads=alloc.kernel_threads,
             kernel="blas",
+            batch_modes=choose_batch_modes(shape_t, layout, mode, j, loops),
         )
         if not plan.views_blas_legal:
             # Figure 7's dispatch: general-stride views need the BLIS-role
@@ -215,6 +217,9 @@ class ParameterEstimator:
                 loop_modes=loops,
                 loop_threads=alloc.loop_threads,
                 kernel_threads=alloc.kernel_threads,
+                batch_modes=choose_batch_modes(
+                    plan.shape, plan.layout, mode, plan.j, loops
+                ),
             )
             if not in_range(candidate):
                 continue

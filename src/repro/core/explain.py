@@ -79,10 +79,18 @@ def explain_plan(
     # -- loops -------------------------------------------------------------------
     if plan.loop_modes:
         extents = " x ".join(str(e) for e in plan.loop_extents)
-        lines.append(
+        loop_line = (
             f"loops: modes {list(plan.loop_modes)} — {extents} = "
             f"{plan.loop_iterations} kernel invocations."
         )
+        if plan.batch_modes:
+            loop_line += (
+                f" Modes {list(plan.batch_modes)} stack into the batch axis "
+                f"(B={plan.batch_extent}), so only "
+                f"{plan.gemm_dispatch_count} batched GEMM call(s) are "
+                "dispatched."
+            )
+        lines.append(loop_line)
     else:
         lines.append(
             "loops: none — the merge covers every non-product mode, so the "

@@ -1,10 +1,27 @@
 """The in-place TTM executor: Algorithm 2, interpreted from a plan.
 
-``ttm_inplace`` walks the loop-mode iteration space (in parallel when the
-plan says so), builds 2-D *views* of the input and output tensors with
-:func:`repro.tensor.views.merged_matrix_view` — never copying — and runs
-the planned GEMM kernel on each pair of views, writing straight through
-the output tensor's storage.
+``ttm_inplace`` walks the loop-mode iteration space and runs the planned
+GEMM kernel on copy-free *views* of the input and output tensors, writing
+straight through the output tensor's storage.
+
+The executor has two code shapes, chosen by the plan:
+
+* **Batched** (``plan.batch_modes`` non-empty): the innermost run of
+  loop modes is fused into the batch dimension of a rank-3 strided view
+  (:class:`repro.tensor.views.BatchViewFactory`), and one batched GEMM
+  (:func:`repro.gemm.batched.gemm_batched`) replaces that whole run of
+  per-index dispatches.  Only the *outer* residue of ``M_L`` remains an
+  interpreted loop, which cuts interpreter crossings by the batch factor
+  — the GETT-style move of mapping the loop nest onto batched matrix
+  multiply primitives instead of interpreted outer loops.
+* **Per-iteration** (``batch_modes`` empty): the original Algorithm 2
+  loop, one GEMM per loop index, kept as the fallback for plans whose
+  strides do not permit stacking and for explicitly unbatched plans.
+
+Both paths hoist every loop-invariant out of the body: view geometry is
+precomputed once per call (the factories), the kernel callable is
+resolved once (no per-iteration registry lookups), and ``U^T`` for the
+backward strategy is derived once.
 
 Total extra memory: one J x I_n transpose of U for the backward strategy
 (a view, not a copy) and nothing else.  This is what "in-place" means in
@@ -14,14 +31,20 @@ buffers simply do not exist.
 
 from __future__ import annotations
 
+import math
+import time
+
 import numpy as np
 
 from repro.core.plan import Strategy, TtmPlan
-from repro.gemm.interface import gemm
+from repro.gemm.batched import gemm_batched
+from repro.gemm.interface import resolve_kernel
 from repro.gemm.threaded import gemm_threaded
 from repro.parallel.parfor import parfor
+from repro.perf.profiler import active_hot_counters
 from repro.tensor.dense import DenseTensor
-from repro.tensor.views import merged_matrix_view
+from repro.tensor.layout import Layout
+from repro.tensor.views import BatchViewFactory, MatrixViewFactory
 from repro.util.errors import PlanError, ShapeError
 from repro.util.validation import check_mode, check_positive_int
 
@@ -35,18 +58,24 @@ def default_plan(
     kernel_threads: int = 1,
     kernel: str = "auto",
     degree: int | None = None,
+    batched: bool = True,
 ) -> TtmPlan:
     """A maximal-merge plan (all available contiguous modes in ``M_C``).
 
     This is the un-tuned but always-correct choice; the estimator
     (:mod:`repro.core.estimator`) refines the degree and thread split.
+    With ``batched=True`` (the default) the maximal stackable run of loop
+    modes is marked for batched execution; ``batched=False`` pins the
+    classic per-iteration loop.
     """
     shape_t = tuple(int(s) for s in shape)
     order = len(shape_t)
     mode = check_mode(mode, order)
     check_positive_int(j, "j")
+    layout = Layout.parse(layout)
     from repro.core.partition import (
         available_modes_for_strategy,
+        choose_batch_modes,
         component_modes_for_strategy,
         strategy_for,
     )
@@ -57,6 +86,9 @@ def default_plan(
         degree = len(available)
     comp = component_modes_for_strategy(order, mode, strategy, degree)
     loops = tuple(m for m in range(order) if m != mode and m not in comp)
+    batch = (
+        choose_batch_modes(shape_t, layout, mode, j, loops) if batched else ()
+    )
     return TtmPlan(
         shape=shape_t,
         mode=mode,
@@ -68,6 +100,7 @@ def default_plan(
         loop_threads=loop_threads,
         kernel_threads=kernel_threads,
         kernel=kernel,
+        batch_modes=batch,
     )
 
 
@@ -106,7 +139,11 @@ def _prepare_out(plan: TtmPlan, out: DenseTensor | None) -> DenseTensor:
 
 
 def _kernel_runner(plan: TtmPlan, accumulate: bool = False):
-    """A closure dispatching the inner GEMM per the plan's kernel/threads."""
+    """A closure dispatching the inner GEMM per the plan's kernel/threads.
+
+    The kernel callable is resolved from the registry *once* here; loop
+    bodies call it directly without any per-iteration dispatch overhead.
+    """
     if plan.kernel_threads > 1:
         inner = "auto" if plan.kernel == "threaded" else plan.kernel
         threads = plan.kernel_threads
@@ -116,12 +153,138 @@ def _kernel_runner(plan: TtmPlan, accumulate: bool = False):
                           accumulate=accumulate)
 
         return run
+    impl = resolve_kernel(plan.kernel)
+
+    def run(a, b, out):
+        impl(a, b, out=out, accumulate=accumulate)
+
+    return run
+
+
+def _batched_runner(plan: TtmPlan, accumulate: bool = False):
+    """Like :func:`_kernel_runner`, but dispatching whole batches."""
+    if plan.kernel_threads > 1:
+        threads = plan.kernel_threads
+
+        def run(a, b, out):
+            gemm_batched(a, b, out=out, accumulate=accumulate,
+                         kernel="threaded", threads=threads)
+
+        return run
     kernel = plan.kernel
 
     def run(a, b, out):
-        gemm(a, b, out=out, kernel=kernel, accumulate=accumulate)
+        gemm_batched(a, b, out=out, accumulate=accumulate, kernel=kernel)
 
     return run
+
+
+def _execute_batched(x, u, ut, y, plan: TtmPlan, accumulate: bool) -> None:
+    """The batched engine: one batched GEMM per *outer* loop index."""
+    comp = plan.component_modes
+    mode_t = plan.mode
+    batch = plan.batch_modes
+    outer = plan.outer_loop_modes
+    forward = plan.strategy is Strategy.FORWARD or plan.degree == 0
+    counters = active_hot_counters()
+    run_batched = _batched_runner(plan, accumulate=accumulate)
+
+    # Degree 0 batches fibers as (B, I_n, 1) single-column matrices.
+    rows_x = (mode_t,)
+    if forward:
+        x_views = BatchViewFactory(x, batch, rows_x, comp, outer)
+        y_views = BatchViewFactory(y, batch, rows_x, comp, outer)
+    else:
+        x_views = BatchViewFactory(x, batch, comp, rows_x, outer)
+        y_views = BatchViewFactory(y, batch, comp, rows_x, outer)
+
+    def dispatch(x3, y3):
+        # Algorithm 2's kernel, lifted to rank 3 over the batch run:
+        # forward Y3[b] = U @ X3[b]; backward Y3[b] = X3[b] @ U^T.
+        if forward:
+            run_batched(u, x3, y3)
+        else:
+            run_batched(x3, ut, y3)
+        if counters is not None:
+            counters.count_batched(x3.shape[0])
+
+    b_extent = x_views.batch_extent
+    if plan.loop_threads > 1 and not outer and b_extent > 1:
+        # No outer loop to parallelize: split the batch itself across the
+        # P_L workers (each chunk is still one batched dispatch).
+        x3 = x_views.view(())
+        y3 = y_views.view(())
+        n_chunks = min(plan.loop_threads, b_extent)
+        chunk = math.ceil(b_extent / n_chunks)
+
+        def chunk_body(index):
+            lo = index[0] * chunk
+            hi = min(lo + chunk, b_extent)
+            dispatch(x3[lo:hi], y3[lo:hi])
+
+        parfor((n_chunks,), chunk_body, threads=plan.loop_threads)
+        return
+
+    if counters is None:
+
+        def body(index):
+            dispatch(x_views.view(index), y_views.view(index))
+
+    else:
+
+        def body(index):
+            start = time.perf_counter()
+            x3 = x_views.view(index)
+            y3 = y_views.view(index)
+            counters.add_view_time(time.perf_counter() - start)
+            dispatch(x3, y3)
+
+    parfor(plan.outer_loop_extents, body, threads=plan.loop_threads)
+
+
+def _execute_looped(x, u, ut, y, plan: TtmPlan, accumulate: bool) -> None:
+    """The per-iteration fallback: one GEMM dispatch per loop index."""
+    comp = plan.component_modes
+    mode_t = plan.mode
+    loops = plan.loop_modes
+    forward = plan.strategy is Strategy.FORWARD or plan.degree == 0
+    counters = active_hot_counters()
+    run_kernel = _kernel_runner(plan, accumulate=accumulate)
+
+    # Degree 0 falls into the forward shape with an empty column run:
+    # each kernel is a GEMV-shaped GEMM on an (I_n, 1) fiber view.
+    rows = (mode_t,)
+    if forward:
+        x_views = MatrixViewFactory(x, rows, comp, loops)
+        y_views = MatrixViewFactory(y, rows, comp, loops)
+    else:
+        x_views = MatrixViewFactory(x, comp, rows, loops)
+        y_views = MatrixViewFactory(y, comp, rows, loops)
+
+    if counters is None:
+
+        def body(index):
+            x_sub = x_views.view(index)
+            y_sub = y_views.view(index)
+            if forward:
+                run_kernel(u, x_sub, y_sub)
+            else:
+                run_kernel(x_sub, ut, y_sub)
+
+    else:
+
+        def body(index):
+            start = time.perf_counter()
+            x_sub = x_views.view(index)
+            y_sub = y_views.view(index)
+            counters.add_view_time(time.perf_counter() - start)
+            if forward:
+                run_kernel(u, x_sub, y_sub)
+            else:
+                run_kernel(x_sub, ut, y_sub)
+            counters.count_gemm()
+
+    parfor(plan.loop_extents, body, threads=plan.loop_threads)
 
 
 def ttm_inplace(
@@ -165,42 +328,10 @@ def ttm_inplace(
         plan = default_plan(x.shape, mode, u_arr.shape[0], x.layout)
     u = _check_inputs(x, u, plan)
     y = _prepare_out(plan, out)
-    run_kernel = _kernel_runner(plan, accumulate=accumulate)
-
-    comp = plan.component_modes
-    mode_t = plan.mode
-    loops = plan.loop_modes
-    forward = plan.strategy is Strategy.FORWARD
     ut = u.T  # view; used by the backward kernel form
 
-    if comp:
-        if forward:
-
-            def body(index):
-                fixed = dict(zip(loops, index))
-                x_sub = merged_matrix_view(x, (mode_t,), comp, fixed)
-                y_sub = merged_matrix_view(y, (mode_t,), comp, fixed)
-                # Algorithm 2, line 9: Y_sub = U @ X_sub.
-                run_kernel(u, x_sub, y_sub)
-
-        else:
-
-            def body(index):
-                fixed = dict(zip(loops, index))
-                x_sub = merged_matrix_view(x, comp, (mode_t,), fixed)
-                y_sub = merged_matrix_view(y, comp, (mode_t,), fixed)
-                # Algorithm 2, line 5: Y_sub = X_sub @ U'.
-                run_kernel(x_sub, ut, y_sub)
-
+    if plan.batch_modes:
+        _execute_batched(x, u, ut, y, plan, accumulate)
     else:
-        # Degree 0: fiber representation; each kernel is a GEMV-shaped GEMM.
-        from repro.tensor.views import fiber
-
-        def body(index):
-            fixed = dict(zip(loops, index))
-            x_fib = fiber(x, mode_t, fixed)[:, np.newaxis]
-            y_fib = fiber(y, mode_t, fixed)[:, np.newaxis]
-            run_kernel(u, x_fib, y_fib)
-
-    parfor(plan.loop_extents, body, threads=plan.loop_threads)
+        _execute_looped(x, u, ut, y, plan, accumulate)
     return y

@@ -23,8 +23,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.gemm.bench import GemmProfile
-from repro.tensor.layout import Layout
-from repro.util.errors import BenchmarkError, PlanError
+from repro.tensor.layout import Layout, element_strides
+from repro.util.errors import BenchmarkError, LayoutError, PlanError
 from repro.util.validation import check_mode, check_positive_int, check_probability
 
 #: Thresholds the paper measured on its Core i7 (§4.3.1): used as a
@@ -153,6 +153,50 @@ def component_modes_for_degree(
     if layout is Layout.ROW_MAJOR:
         return available[-degree:]
     return available[:degree]
+
+
+def choose_batch_modes(
+    shape: Sequence[int],
+    layout: Layout,
+    mode: int,
+    j: int,
+    loop_modes: Sequence[int],
+) -> tuple[int, ...]:
+    """The maximal innermost run of ``M_L`` that stacks into a batched GEMM.
+
+    A suffix of the loop iteration order can be fused into the batch
+    dimension of one rank-3 strided view exactly when (a) its modes form a
+    consecutive index run (so the merged dimension exists copy-free —
+    Lemma 4.1 applied to the batch axis) and (b) the run's strides nest in
+    *both* the input and the output tensor.  For contiguous storage (b)
+    follows from (a), but it is checked explicitly so exotic layouts fail
+    toward the safe per-iteration path rather than toward a wrong view.
+
+    Returns the chosen modes as a sorted tuple — ``()`` when even the
+    innermost loop mode cannot be stacked (only possible with no loop
+    modes at all).
+    """
+    from repro.tensor.views import merged_stride
+
+    shape_t = tuple(int(s) for s in shape)
+    loops = tuple(int(m) for m in loop_modes)
+    mode = check_mode(mode, len(shape_t))
+    check_positive_int(j, "j")
+    out_shape = shape_t[:mode] + (int(j),) + shape_t[mode + 1:]
+    x_strides = element_strides(shape_t, layout)
+    y_strides = element_strides(out_shape, layout)
+    best: tuple[int, ...] = ()
+    for k in range(1, len(loops) + 1):
+        run = tuple(sorted(loops[len(loops) - k:]))
+        if list(run) != list(range(run[0], run[0] + len(run))):
+            break
+        try:
+            merged_stride(x_strides, shape_t, run)
+            merged_stride(y_strides, out_shape, run)
+        except LayoutError:
+            break
+        best = run
+    return best
 
 
 def kernel_working_set_bytes(

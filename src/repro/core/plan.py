@@ -8,6 +8,9 @@ input, everything Algorithm 2 leaves open:
   left; unit-stride for column-major);
 * the **component modes** ``M_C`` merged into the inner GEMM;
 * the **loop modes** ``M_L`` iterated by the (possibly parallel) nest;
+* the **batch modes** ``M_B`` — the innermost run of ``M_L`` whose
+  iterations collapse into one batched GEMM (a rank-3 strided view fed
+  to ``np.matmul``) instead of interpreted per-index dispatches;
 * the thread split ``P_L`` / ``P_C``;
 * the inner **kernel** (``blas`` fast path or ``blocked`` general-stride).
 
@@ -23,8 +26,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.tensor.layout import Layout
-from repro.util.errors import PlanError
+from repro.tensor.layout import Layout, element_strides
+from repro.util.errors import LayoutError, PlanError
 
 
 class Strategy(enum.Enum):
@@ -53,6 +56,7 @@ class TtmPlan:
     loop_threads: int = 1
     kernel_threads: int = 1
     kernel: str = "auto"
+    batch_modes: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         order = len(self.shape)
@@ -95,6 +99,39 @@ class TtmPlan:
                         f"backward strategy requires M_C to be the leftmost "
                         f"modes before {self.mode}, got {comp}"
                     )
+        batch = list(self.batch_modes)
+        if batch:
+            if batch != sorted(batch) or batch != list(
+                range(batch[0], batch[0] + len(batch))
+            ):
+                raise PlanError(
+                    f"batch modes {batch} must be a sorted consecutive run"
+                )
+            if set(batch) != set(self.loop_modes[len(self.loop_modes) - len(batch):]):
+                raise PlanError(
+                    f"batch modes {batch} must be exactly the innermost "
+                    f"(last-iterated) loop modes of M_L {list(self.loop_modes)}"
+                )
+            # Stackability (Lemma 4.2 analogue): the batch run must merge
+            # copy-free in *both* operands.  Always true for contiguous
+            # storage, but validated here so the executor and the code
+            # generator can trust ``batch_modes`` blindly.
+            from repro.tensor.views import merged_stride
+
+            try:
+                merged_stride(
+                    element_strides(self.shape, self.layout), self.shape, batch
+                )
+                merged_stride(
+                    element_strides(self.out_shape, self.layout),
+                    self.out_shape,
+                    batch,
+                )
+            except LayoutError as exc:
+                raise PlanError(
+                    f"batch modes {batch} are not stackable without a copy: "
+                    f"{exc}"
+                ) from exc
 
     # -- derived geometry ---------------------------------------------------
 
@@ -130,6 +167,42 @@ class TtmPlan:
     @property
     def loop_iterations(self) -> int:
         return math.prod(self.loop_extents) if self.loop_extents else 1
+
+    # -- batched execution geometry ----------------------------------------
+
+    @property
+    def batch_extent(self) -> int:
+        """B: iterations fused into one batched GEMM (1 when unbatched)."""
+        return math.prod(self.shape[m] for m in self.batch_modes)
+
+    @property
+    def outer_loop_modes(self) -> tuple[int, ...]:
+        """The loop modes that remain interpreted outside the batch."""
+        if not self.batch_modes:
+            return self.loop_modes
+        return self.loop_modes[: len(self.loop_modes) - len(self.batch_modes)]
+
+    @property
+    def outer_loop_extents(self) -> tuple[int, ...]:
+        return tuple(self.shape[m] for m in self.outer_loop_modes)
+
+    @property
+    def outer_loop_iterations(self) -> int:
+        extents = self.outer_loop_extents
+        return math.prod(extents) if extents else 1
+
+    @property
+    def gemm_dispatch_count(self) -> int:
+        """Interpreter-level GEMM dispatches the executor performs.
+
+        Per-iteration execution dispatches once per loop index; batched
+        execution dispatches once per *outer* index, reducing the count by
+        the batch factor B.  This is the quantity the new hot-path
+        counters measure and the batched benchmark reports.
+        """
+        if not self.batch_modes:
+            return self.loop_iterations
+        return self.outer_loop_iterations
 
     @property
     def kernel_shape(self) -> tuple[int, int, int]:
@@ -184,10 +257,12 @@ class TtmPlan:
         dims = "x".join(str(s) for s in self.shape)
         comp = ",".join(str(m) for m in self.component_modes) or "-"
         loops = ",".join(str(m) for m in self.loop_modes) or "-"
+        batch = ",".join(str(m) for m in self.batch_modes) or "-"
         return (
             f"TtmPlan[{dims} mode={self.mode} J={self.j} "
             f"{self.layout.name}/{self.strategy.value} "
-            f"M_C=({comp}) M_L=({loops}) P_L={self.loop_threads} "
+            f"M_C=({comp}) M_L=({loops}) M_B=({batch}) "
+            f"P_L={self.loop_threads} "
             f"P_C={self.kernel_threads} kernel={self.kernel}]"
         )
 

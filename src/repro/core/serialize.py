@@ -31,6 +31,7 @@ def plan_to_dict(plan: TtmPlan) -> dict:
         "loop_threads": plan.loop_threads,
         "kernel_threads": plan.kernel_threads,
         "kernel": plan.kernel,
+        "batch_modes": list(plan.batch_modes),
     }
 
 
@@ -48,6 +49,9 @@ def plan_from_dict(payload: dict) -> TtmPlan:
             loop_threads=int(payload["loop_threads"]),
             kernel_threads=int(payload["kernel_threads"]),
             kernel=str(payload["kernel"]),
+            # Absent in caches written before batched execution existed;
+            # such plans simply run the per-iteration path.
+            batch_modes=tuple(int(m) for m in payload.get("batch_modes", ())),
         )
     except KeyError as exc:
         raise PlanError(f"plan payload missing field {exc}") from exc

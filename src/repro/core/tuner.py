@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.inttm import ttm_inplace
 from repro.core.partition import (
     available_modes_for_strategy,
+    choose_batch_modes,
     component_modes_for_strategy,
     strategy_for,
 )
@@ -64,6 +65,7 @@ def enumerate_plans(
         if layout is Layout.COL_MAJOR:
             loops_fwd.reverse()
         loops = tuple(loops_fwd)
+        batch = choose_batch_modes(shape_t, layout, mode, j, loops)
         for p_l, p_c in allocations:
             for kernel in kernels:
                 plans.append(
@@ -78,6 +80,7 @@ def enumerate_plans(
                         loop_threads=p_l,
                         kernel_threads=p_c,
                         kernel=kernel,
+                        batch_modes=batch,
                     )
                 )
     return plans

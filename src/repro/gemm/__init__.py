@@ -26,8 +26,10 @@ from repro.gemm.interface import (
     blas_legal,
     gemm,
     kernel_names,
+    resolve_kernel,
     unit_stride_dims,
 )
+from repro.gemm.batched import batched_slices_blas_legal, gemm_batched
 from repro.gemm.reference import gemm_reference
 from repro.gemm.blas_like import gemm_blas
 from repro.gemm.blocked import BlockSizes, gemm_blocked
@@ -41,9 +43,12 @@ from repro.gemm.bench import (
 
 __all__ = [
     "KERNELS",
+    "batched_slices_blas_legal",
     "blas_legal",
     "gemm",
+    "gemm_batched",
     "kernel_names",
+    "resolve_kernel",
     "unit_stride_dims",
     "gemm_reference",
     "gemm_blas",

@@ -54,19 +54,44 @@ def _gemm_auto(a, b, out=None, accumulate=False):
     return gemm_blocked(a, b, out=out, accumulate=accumulate)
 
 
-def _registry() -> dict[str, Callable]:
-    from repro.gemm.blas_like import gemm_blas
-    from repro.gemm.blocked import gemm_blocked
-    from repro.gemm.reference import gemm_reference
-    from repro.gemm.threaded import gemm_threaded
+_REGISTRY: dict[str, Callable] | None = None
 
-    return {
-        "auto": _gemm_auto,
-        "blas": gemm_blas,
-        "blocked": gemm_blocked,
-        "reference": gemm_reference,
-        "threaded": gemm_threaded,
-    }
+
+def _registry() -> dict[str, Callable]:
+    # Built lazily (the kernel modules import this one) and cached: the
+    # registry is immutable after first use, and rebuilding it per GEMM
+    # call is measurable interpreter overhead on the TTM hot path.
+    global _REGISTRY
+    if _REGISTRY is None:
+        from repro.gemm.blas_like import gemm_blas
+        from repro.gemm.blocked import gemm_blocked
+        from repro.gemm.reference import gemm_reference
+        from repro.gemm.threaded import gemm_threaded
+
+        _REGISTRY = {
+            "auto": _gemm_auto,
+            "blas": gemm_blas,
+            "blocked": gemm_blocked,
+            "reference": gemm_reference,
+            "threaded": gemm_threaded,
+        }
+    return _REGISTRY
+
+
+def resolve_kernel(kernel: str) -> Callable:
+    """The callable behind a kernel name (for hoisting dispatch out of loops).
+
+    ``gemm(..., kernel=k)`` performs a registry lookup per call; loop
+    bodies that dispatch thousands of small GEMMs resolve the kernel once
+    with this function instead and call the result directly.
+    """
+    registry = _registry()
+    try:
+        return registry[kernel]
+    except KeyError:
+        raise StrideError(
+            f"unknown gemm kernel {kernel!r}; choose from {KERNELS}"
+        ) from None
 
 
 KERNELS = "auto", "blas", "blocked", "reference", "threaded"
@@ -104,11 +129,5 @@ def gemm(
         Kernel-specific options (e.g. ``block_sizes`` for ``blocked``,
         ``threads`` for ``threaded``).
     """
-    registry = _registry()
-    try:
-        impl = registry[kernel]
-    except KeyError:
-        raise StrideError(
-            f"unknown gemm kernel {kernel!r}; choose from {KERNELS}"
-        ) from None
+    impl = resolve_kernel(kernel)
     return impl(a, b, out=out, accumulate=accumulate, **kwargs)

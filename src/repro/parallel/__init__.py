@@ -1,5 +1,17 @@
 """Coarse-grained loop parallelism (the paper's ``P_L`` threads)."""
 
-from repro.parallel.parfor import parfor, iter_index_space
+from repro.parallel.parfor import (
+    active_pool_count,
+    get_pool,
+    iter_index_space,
+    parfor,
+    shutdown_pools,
+)
 
-__all__ = ["parfor", "iter_index_space"]
+__all__ = [
+    "active_pool_count",
+    "get_pool",
+    "iter_index_space",
+    "parfor",
+    "shutdown_pools",
+]

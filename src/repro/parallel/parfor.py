@@ -2,21 +2,40 @@
 
 This is the reproduction of the paper's ``#pragma omp parallel for
 collapse(...)`` over the loop modes ``M_L`` (Algorithm 2, line 1): the
-collapsed iteration space is flattened, split into near-equal contiguous
-chunks, and each chunk is executed by one worker thread.  Loop bodies
-call NumPy kernels that release the GIL, so the workers genuinely
-overlap; each iteration writes a disjoint slice of the output, so no
-synchronization is needed.
+collapsed iteration space is split into blocks and each block is executed
+by one worker thread.  Loop bodies call NumPy kernels that release the
+GIL, so the workers genuinely overlap; each iteration writes a disjoint
+slice of the output, so no synchronization is needed.
+
+Two properties matter for the hot path and are guaranteed here:
+
+* **No materialization** — the flattened index space is *never* turned
+  into a list.  Workers pull bounded blocks from a shared lazy iterator
+  (``itertools.islice``), so memory stays O(threads x block) no matter
+  how many loop iterations a plan has.
+* **Pool reuse** — OpenMP runtimes keep their worker teams alive between
+  parallel regions; a fresh ``ThreadPoolExecutor`` per call would pay
+  thread spawn/join on every TTM.  Executors are cached per worker count
+  in a module-level pool registry and reused across calls.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
 from repro.util.validation import check_positive_int
+
+#: Upper bound on indices a worker pulls per trip to the shared iterator:
+#: large enough to amortize the lock, small enough to bound memory and
+#: keep the tail balanced.
+_BLOCK_CAP = 1024
+
+_POOLS: dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
 
 
 def iter_index_space(extents: Sequence[int]):
@@ -28,6 +47,34 @@ def iter_index_space(extents: Sequence[int]):
     return itertools.product(*(range(int(e)) for e in extents))
 
 
+def get_pool(workers: int) -> ThreadPoolExecutor:
+    """The persistent executor for a worker count (created on first use)."""
+    check_positive_int(workers, "workers")
+    with _POOLS_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"parfor-{workers}"
+            )
+            _POOLS[workers] = pool
+        return pool
+
+
+def active_pool_count() -> int:
+    """How many persistent executors currently exist (for tests/metrics)."""
+    with _POOLS_LOCK:
+        return len(_POOLS)
+
+
+def shutdown_pools() -> None:
+    """Tear down every persistent executor (tests and clean shutdown)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
 def parfor(
     extents: Sequence[int],
     body: Callable[[tuple[int, ...]], None],
@@ -36,8 +83,10 @@ def parfor(
     """Run ``body(index)`` for every index tuple; returns iteration count.
 
     With ``threads == 1`` (the common case when ``P_C`` gets the threads)
-    the loop runs inline with zero overhead.  Otherwise the flattened
-    space is split into ``threads`` contiguous chunks.
+    the loop runs inline with zero overhead.  Otherwise up to ``threads``
+    persistent workers drain the lazily flattened space in contiguous
+    blocks; the first exception raised by any body propagates to the
+    caller (remaining workers stop pulling new blocks).
     """
     check_positive_int(threads, "threads")
     total = math.prod(int(e) for e in extents) if extents else 1
@@ -48,15 +97,27 @@ def parfor(
             body(index)
         return total
 
-    indices = list(iter_index_space(extents))
-    n_chunks = min(threads, total)
-    chunk = math.ceil(total / n_chunks)
+    n_workers = min(threads, total)
+    block = min(max(1, math.ceil(total / n_workers)), _BLOCK_CAP)
+    indices = iter_index_space(extents)
+    feed_lock = threading.Lock()
+    failed = threading.Event()
 
-    def run(start: int) -> None:
-        for index in indices[start : start + chunk]:
-            body(index)
+    def worker() -> None:
+        while not failed.is_set():
+            with feed_lock:
+                batch = list(itertools.islice(indices, block))
+            if not batch:
+                return
+            try:
+                for index in batch:
+                    body(index)
+            except BaseException:
+                failed.set()
+                raise
 
-    with ThreadPoolExecutor(max_workers=n_chunks) as pool:
-        # list() propagates the first worker exception, if any.
-        list(pool.map(run, range(0, total, chunk)))
+    pool = get_pool(n_workers)
+    futures = [pool.submit(worker) for _ in range(n_workers)]
+    for future in futures:
+        future.result()  # re-raises the first worker exception
     return total

@@ -6,7 +6,13 @@ that GFLOP/s numbers are computed the same way everywhere.
 
 from repro.perf.timing import Timer, best_of, time_callable
 from repro.perf.flops import gemm_flops, gflops_rate, ttm_flops
-from repro.perf.profiler import PhaseProfile, PhaseProfiler
+from repro.perf.profiler import (
+    HotCounters,
+    PhaseProfile,
+    PhaseProfiler,
+    active_hot_counters,
+    track_hot_path,
+)
 from repro.perf.machine import MachineInfo, machine_info
 from repro.perf.calibrate import (
     host_platform,
@@ -24,8 +30,11 @@ __all__ = [
     "gemm_flops",
     "gflops_rate",
     "ttm_flops",
+    "HotCounters",
     "PhaseProfile",
     "PhaseProfiler",
+    "active_hot_counters",
+    "track_hot_path",
     "MachineInfo",
     "machine_info",
 ]

@@ -5,10 +5,20 @@ phase (matricize + tensorize copies) and a *multiply* phase (the GEMM),
 reporting each phase's fraction of total time and of total storage.  The
 baselines in :mod:`repro.baselines` instrument themselves with this
 profiler so the same breakdown can be reproduced for any input.
+
+This module also hosts the TTM executor's **hot-path counters**
+(:class:`HotCounters`): lightweight tallies of GEMM dispatches, batched
+calls and batch sizes, and view-construction time.  They exist to make
+the batched engine's interpreter-overhead reduction *measurable* — a
+batched plan should show the dispatch count dropping by the batch factor
+while the math stays identical.  Collection is off by default (the
+executor checks one module global per call), so the hot path pays
+nothing when nobody is watching.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -93,3 +103,81 @@ class NullProfiler(PhaseProfiler):
 
     def charge_bytes(self, name: str, nbytes: int) -> None:
         pass
+
+
+# -- hot-path counters --------------------------------------------------------
+
+
+@dataclass
+class HotCounters:
+    """Tallies from one instrumented region of the TTM hot path.
+
+    ``gemm_calls`` counts interpreter-level GEMM dispatches (one per loop
+    iteration on the per-iteration path); ``batched_calls`` counts batched
+    dispatches and ``batched_slices`` the matrix multiplies they covered,
+    so ``gemm_calls + batched_slices`` is the total GEMM work while
+    ``gemm_calls + batched_calls`` is the interpreter crossings paid for
+    it.  ``view_seconds`` accumulates time spent constructing strided
+    views (the executor's non-GEMM overhead).
+    """
+
+    gemm_calls: int = 0
+    batched_calls: int = 0
+    batched_slices: int = 0
+    max_batch: int = 0
+    view_seconds: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @property
+    def dispatches(self) -> int:
+        """Interpreter-level kernel dispatches (the overhead unit)."""
+        return self.gemm_calls + self.batched_calls
+
+    @property
+    def total_slices(self) -> int:
+        """Individual matrix multiplies executed, batched or not."""
+        return self.gemm_calls + self.batched_slices
+
+    def count_gemm(self, calls: int = 1) -> None:
+        with self._lock:
+            self.gemm_calls += calls
+
+    def count_batched(self, slices: int) -> None:
+        with self._lock:
+            self.batched_calls += 1
+            self.batched_slices += slices
+            if slices > self.max_batch:
+                self.max_batch = slices
+
+    def add_view_time(self, seconds: float) -> None:
+        with self._lock:
+            self.view_seconds += seconds
+
+
+_HOT_COUNTERS: HotCounters | None = None
+
+
+def active_hot_counters() -> HotCounters | None:
+    """The counters currently collecting, or None (the common fast case)."""
+    return _HOT_COUNTERS
+
+
+@contextmanager
+def track_hot_path():
+    """Collect hot-path counters for the duration of a ``with`` block.
+
+    Yields the :class:`HotCounters` being filled; instrumented code looks
+    the active collector up via :func:`active_hot_counters`.  Regions do
+    not nest — the innermost wins — which is fine for the benchmarking
+    use this serves.
+    """
+    global _HOT_COUNTERS
+    counters = HotCounters()
+    previous = _HOT_COUNTERS
+    _HOT_COUNTERS = counters
+    try:
+        yield counters
+    finally:
+        _HOT_COUNTERS = previous

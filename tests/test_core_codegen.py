@@ -63,11 +63,23 @@ class TestSourceStructure:
         assert ".reshape((3, 7))" in src
         assert "def inttm(x, u, y):" in src
 
-    def test_blas_kernel_inlines_matmul(self):
-        # Non-leading loop modes (degree 1 of an order-4 tensor) keep the
-        # explicit nest with a per-iteration matmul.
+    def test_partial_collapse_batches_inner_run(self):
+        # Degree 1 of an order-4 tensor: M_L = (0, 2) only partially
+        # collapses — mode 2 batches into a strided rank-3 matmul and
+        # mode 0 stays a literal outer loop.
         plan = default_plan((9, 8, 7, 6), 1, 3, ROW_MAJOR, kernel="blas",
                             degree=1)
+        assert plan.batch_modes == (2,)
+        src = generate_source(plan)
+        assert "for i0 in range(9):" in src
+        assert "_as_strided(" in src
+        assert "np.matmul(u, x3, out=y3)" in src
+
+    def test_blas_kernel_inlines_matmul(self):
+        # An explicitly unbatched plan keeps the explicit nest with a
+        # per-iteration matmul.
+        plan = default_plan((9, 8, 7, 6), 1, 3, ROW_MAJOR, kernel="blas",
+                            degree=1, batched=False)
         src = generate_source(plan)
         assert "np.matmul(u, x_sub, out=y_sub)" in src
 

@@ -112,3 +112,53 @@ class TestParfor:
     def test_invalid_threads(self):
         with pytest.raises(ValueError):
             parfor((2,), lambda i: None, threads=0)
+
+
+class TestPersistentPool:
+    def test_pool_is_reused_across_calls(self):
+        from repro.parallel.parfor import get_pool
+
+        first = get_pool(3)
+        parfor((8,), lambda i: None, threads=3)
+        parfor((8,), lambda i: None, threads=3)
+        assert get_pool(3) is first
+
+    def test_pool_count_stays_flat_under_repeated_parfor(self):
+        from repro.parallel.parfor import active_pool_count
+
+        parfor((6,), lambda i: None, threads=2)
+        before = active_pool_count()
+        for _ in range(5):
+            parfor((6,), lambda i: None, threads=2)
+        assert active_pool_count() == before
+
+    def test_exception_still_propagates_through_reused_pool(self):
+        def boom(index):
+            if index == (3,):
+                raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            parfor((8,), boom, threads=2)
+        # The pool survives the failure and keeps working.
+        seen = []
+        lock = threading.Lock()
+
+        def body(index):
+            with lock:
+                seen.append(index)
+
+        assert parfor((8,), body, threads=2) == 8
+        assert sorted(seen) == sorted(iter_index_space((8,)))
+
+    def test_index_space_is_never_materialized(self):
+        """A huge collapsed space must stream, not be list()-ed.
+
+        2**40 iterations would need ~10 TB as a list; pulling only the
+        first blocks and then failing proves the feed is lazy.
+        """
+
+        def body(index):
+            raise RuntimeError("stop immediately")
+
+        with pytest.raises(RuntimeError):
+            parfor((2**20, 2**20), body, threads=2)
