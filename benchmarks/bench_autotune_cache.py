@@ -1,0 +1,143 @@
+"""Plan-acquisition latency: estimator vs. persistent autotune cache.
+
+The estimator re-derives thresholds and walks the candidate space on
+every call; under real traffic the same signatures recur, so
+:mod:`repro.autotune` memoizes the decision on disk per machine
+fingerprint.  This benchmark quantifies what the cache buys: per-call
+plan-acquisition latency through (a) a fresh estimation, (b) a warm
+cache hit, and (c) a cold start that loads the store file from disk —
+the deployment paths of a serving process.
+
+Run as a script for the full table, or under pytest for a smoke check:
+``python benchmarks/bench_autotune_cache.py [--quick]``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import DEFAULT_J, print_header, print_series, run_main
+from repro.autotune import AutotuneSession, PlanCache
+from repro.core import InTensLi
+from repro.perf.profiler import track_hot_path
+from repro.perf.timing import time_callable
+
+MODE = 1
+
+SIGNATURES = [
+    ((96, 96, 96), MODE, DEFAULT_J),
+    ((20, 20, 20, 20), MODE, DEFAULT_J),
+    ((10, 10, 10, 10, 10), MODE, DEFAULT_J),
+    ((8, 8, 8, 8, 8, 8), MODE, DEFAULT_J),
+]
+
+QUICK_SIGNATURES = SIGNATURES[:2]
+
+
+def measure_signature(session, shape, mode, j):
+    """(row) per-call plan latency: estimation vs. warm cache hit."""
+    estimate = lambda: session.lib.estimator.estimate(shape, mode, j)
+    est_s = time_callable(estimate, min_repeats=3, min_seconds=0.01)
+    session.plan(shape, mode, j)  # seed the cache
+    hit_s = time_callable(
+        lambda: session.plan(shape, mode, j), min_repeats=5, min_seconds=0.01
+    )
+    return {
+        "shape": "x".join(str(s) for s in shape),
+        "estimate_us": est_s * 1e6,
+        "hit_us": hit_s * 1e6,
+        "speedup": est_s / hit_s if hit_s > 0 else float("inf"),
+    }
+
+
+def measure_cold_start(path):
+    """Seconds to open a populated store (per-process startup cost)."""
+    return time_callable(
+        lambda: PlanCache(path=path, autosave=False),
+        min_repeats=3,
+        min_seconds=0.01,
+    )
+
+
+def report(signatures):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "plans.json")
+        session = AutotuneSession(InTensLi(), path=path)
+        rows = [measure_signature(session, *sig) for sig in signatures]
+        cold_s = measure_cold_start(path)
+    print_series(
+        ["shape", "estimate (us)", "cache hit (us)", "speedup"],
+        [
+            (
+                r["shape"],
+                f"{r['estimate_us']:.1f}",
+                f"{r['hit_us']:.1f}",
+                f"{r['speedup']:.1f}x",
+            )
+            for r in rows
+        ],
+        export_name="autotune_cache_latency",
+    )
+    print(
+        f"cold start: loading {len(signatures)} cached plans from disk took "
+        f"{cold_s * 1e6:.0f} us (amortized over the whole process)\n"
+    )
+    return rows
+
+
+# -- pytest targets ------------------------------------------------------------
+
+
+def test_warm_hit_skips_estimator(tmp_path):
+    """The cached path must do zero estimator work (the cache's reason)."""
+    session = AutotuneSession(InTensLi(), path=str(tmp_path / "plans.json"))
+    shape, mode, j = QUICK_SIGNATURES[0]
+    session.plan(shape, mode, j)
+    with track_hot_path() as counters:
+        session.plan(shape, mode, j)
+    assert counters.estimator_runs == 0
+    assert counters.plan_cache_hits == 1
+
+
+def test_hit_is_faster_than_estimation(tmp_path):
+    """Qualitative claim: a cache hit beats re-estimating (loose bound:
+    the container jitters, but dict lookup vs. threshold derivation is
+    orders of magnitude, so 2x is a safe floor)."""
+    session = AutotuneSession(InTensLi(), path=str(tmp_path / "plans.json"))
+    row = measure_signature(session, *QUICK_SIGNATURES[1])
+    assert row["hit_us"] * 2 < row["estimate_us"]
+
+
+def test_plan_hit_benchmark(benchmark, tmp_path):
+    session = AutotuneSession(InTensLi(), path=str(tmp_path / "plans.json"))
+    shape, mode, j = QUICK_SIGNATURES[0]
+    session.plan(shape, mode, j)
+    plan = benchmark(session.plan, shape, mode, j)
+    benchmark.extra_info["cached_entries"] = len(session.cache)
+    assert plan.shape == shape
+
+
+# -- script entry --------------------------------------------------------------
+
+
+def main() -> int:
+    quick = "--quick" in sys.argv
+    print_header(
+        "Autotune plan cache: per-call plan latency, estimator vs. cache"
+    )
+    if quick:
+        print("[quick] reduced signature set\n")
+        report(QUICK_SIGNATURES)
+        return 0
+    report(SIGNATURES)
+    return 0
+
+
+if __name__ == "__main__":
+    run_main(main)

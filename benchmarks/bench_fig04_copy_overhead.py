@@ -14,7 +14,6 @@ from __future__ import annotations
 import os
 import sys
 
-import numpy as np
 import pytest
 
 if __package__ in (None, ""):  # script mode: make `benchmarks.*` importable

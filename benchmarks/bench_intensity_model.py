@@ -18,7 +18,6 @@ from __future__ import annotations
 import os
 import sys
 
-import pytest
 
 if __package__ in (None, ""):
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))

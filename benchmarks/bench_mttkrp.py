@@ -25,7 +25,7 @@ if __package__ in (None, ""):
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 from benchmarks.common import print_header, print_series
-from repro.decomp.cp import khatri_rao, mttkrp, mttkrp_inplace
+from repro.decomp.cp import mttkrp, mttkrp_inplace
 from repro.perf.timing import time_callable
 from repro.sparse import SparseTensor, mttkrp_sparse
 from repro.tensor.generate import random_tensor

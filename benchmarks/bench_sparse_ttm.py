@@ -24,7 +24,6 @@ from benchmarks.common import print_header, print_series
 from repro.core.inttm import ttm_inplace
 from repro.perf.timing import time_callable
 from repro.sparse import random_sparse, ttm_sparse
-from repro.tensor.dense import DenseTensor
 
 SHAPE = (64, 64, 64)
 MODE = 1

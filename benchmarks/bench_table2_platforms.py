@@ -14,7 +14,6 @@ import os
 import sys
 
 import numpy as np
-import pytest
 
 if __package__ in (None, ""):
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))

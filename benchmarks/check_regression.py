@@ -1,0 +1,159 @@
+"""Compare exported benchmark series against a committed baseline.
+
+The quick benches export their printed tables as JSON via
+``REPRO_BENCH_JSON=<dir>`` (see :func:`benchmarks.common.print_series`).
+This checker compares a fresh export against ``benchmarks/baselines/``
+and fails when a tracked metric regressed by more than the allowed
+fraction (default: 30%).
+
+Only *ratio* metrics (the ``speedup`` columns) are compared: they pit
+two code paths against each other on the same host, so they transfer
+across machines, while raw GFLOP/s or microsecond columns do not.
+Absolute columns are reported for context but never gate.
+
+Usage::
+
+    REPRO_BENCH_JSON=results python benchmarks/bench_batched_inttm.py --quick
+    REPRO_BENCH_JSON=results python benchmarks/bench_autotune_cache.py --quick
+    python benchmarks/check_regression.py benchmarks/baselines results
+
+Stdlib-only by design: the CI job that runs it installs nothing beyond
+the test dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Headers whose columns gate the check.  Values are higher-is-better
+#: ratios ("12.8x"); a drop below ``baseline * (1 - tolerance)`` fails.
+RATIO_HEADERS = ("speedup",)
+
+
+def parse_metric(text: str) -> float | None:
+    """Parse a table cell like ``"12.8x"``/``"33.2"``; None if not numeric."""
+    cleaned = text.strip().rstrip("x%")
+    try:
+        return float(cleaned)
+    except ValueError:
+        return None
+
+
+def load_series(path: str) -> dict[str, dict]:
+    """Map series name -> {"headers": [...], "rows": [[...], ...]}."""
+    series = {}
+    for name in sorted(os.listdir(path)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(path, name)) as fh:
+            payload = json.load(fh)
+        if isinstance(payload, dict) and "headers" in payload and "rows" in payload:
+            series[name[: -len(".json")]] = payload
+    return series
+
+
+def row_keys(rows: list[list[str]]) -> list[tuple[str, int]]:
+    """Stable row identity: first cell plus occurrence index."""
+    seen: dict[str, int] = {}
+    keys = []
+    for row in rows:
+        label = row[0] if row else ""
+        n = seen.get(label, 0)
+        seen[label] = n + 1
+        keys.append((label, n))
+    return keys
+
+
+def compare_series(
+    name: str, baseline: dict, current: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Return (report lines, failure lines) for one series."""
+    report: list[str] = []
+    failures: list[str] = []
+    headers = baseline["headers"]
+    if current["headers"] != headers:
+        failures.append(
+            f"{name}: header mismatch (baseline {headers!r} vs "
+            f"current {current['headers']!r}); regenerate the baseline"
+        )
+        return report, failures
+    gated = [
+        i
+        for i, h in enumerate(headers)
+        if any(tag in h.lower() for tag in RATIO_HEADERS)
+    ]
+    if not gated:
+        report.append(f"{name}: no ratio columns; informational only")
+        return report, failures
+    current_rows = dict(zip(row_keys(current["rows"]), current["rows"]))
+    for key, base_row in zip(row_keys(baseline["rows"]), baseline["rows"]):
+        cur_row = current_rows.get(key)
+        if cur_row is None:
+            failures.append(f"{name}: row {key[0]!r} missing from current run")
+            continue
+        for i in gated:
+            base_val = parse_metric(base_row[i])
+            cur_val = parse_metric(cur_row[i])
+            if base_val is None or cur_val is None:
+                failures.append(
+                    f"{name}: {key[0]} {headers[i]}: non-numeric cell "
+                    f"({base_row[i]!r} vs {cur_row[i]!r})"
+                )
+                continue
+            floor = base_val * (1.0 - tolerance)
+            verdict = "ok" if cur_val >= floor else "REGRESSED"
+            report.append(
+                f"{name}: {key[0]:16s} {headers[i]:8s} "
+                f"baseline {base_val:8.2f}  current {cur_val:8.2f}  "
+                f"floor {floor:8.2f}  {verdict}"
+            )
+            if cur_val < floor:
+                failures.append(
+                    f"{name}: {key[0]} {headers[i]} fell to {cur_val:.2f} "
+                    f"(baseline {base_val:.2f}, allowed floor {floor:.2f})"
+                )
+    return report, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="directory of committed baseline JSON")
+    parser.add_argument("current", help="directory of freshly exported JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop before failing (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_series(args.baseline)
+    current = load_series(args.current)
+    if not baseline:
+        print(f"error: no baseline series in {args.baseline}", file=sys.stderr)
+        return 2
+    all_failures: list[str] = []
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            all_failures.append(f"{name}: series missing from current run")
+            continue
+        report, failures = compare_series(name, base, current[name], args.tolerance)
+        for line in report:
+            print(line)
+        all_failures.extend(failures)
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name}: new series (no baseline yet); informational only")
+    if all_failures:
+        print(f"\n{len(all_failures)} regression check(s) failed:", file=sys.stderr)
+        for line in all_failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nall regression checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,12 @@ import sys
 
 import numpy as np
 
+# Script invocations (``python benchmarks/bench_*.py``) run without the
+# package installed or PYTHONPATH set; point the import machinery at src/.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
 from repro.perf.flops import gflops_rate, ttm_flops
 from repro.perf.machine import machine_info
 from repro.perf.timing import time_callable

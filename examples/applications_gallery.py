@@ -12,7 +12,6 @@ Run:  python examples/applications_gallery.py
 
 import time
 
-import numpy as np
 
 import repro
 from repro.decomp import hooi

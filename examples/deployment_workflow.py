@@ -63,7 +63,7 @@ def produce(profile_path: str, plans_path: str) -> None:
     for shape, mode, j in WORKLOAD:
         u = rng.standard_normal((j, shape[mode]))
         t0 = time.perf_counter()
-        y = lib.ttm(x, u, mode)
+        lib.ttm(x, u, mode)
         dt = time.perf_counter() - t0
         total += dt
         rate = 2 * j * x.size / dt / 1e9

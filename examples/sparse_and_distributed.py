@@ -17,7 +17,6 @@ import numpy as np
 
 import repro
 from repro.distributed import (
-    ProcessGrid,
     best_grid,
     distributed_ttm,
     enumerate_grids,

@@ -31,6 +31,7 @@ from repro.tensor import (
 from repro.core import InTensLi, TtmPlan, ttm_inplace
 from repro.core.intensli import ttm
 from repro.baselines import ttm_copy, ttm_ctf_like
+from repro.autotune import AutotuneSession, PlanCache
 # NOTE: the GEMM entry point lives at repro.gemm.gemm; importing the
 # function here would shadow the subpackage attribute on this package.
 
@@ -45,7 +46,9 @@ __all__ = [
     "md_trajectory_tensor",
     "random_tensor",
     "unfold",
+    "AutotuneSession",
     "InTensLi",
+    "PlanCache",
     "TtmPlan",
     "ttm_inplace",
     "ttm",

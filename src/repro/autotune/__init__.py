@@ -1,0 +1,38 @@
+"""Persistent autotuning: the plan cache and its online refinement.
+
+The paper's framework decides MSTH/MLTH/PTH *per input* (§4.3.1); this
+package makes those decisions — and measured improvements on them —
+survive the process.  See :mod:`repro.autotune.cache` for the cache
+semantics, :mod:`repro.autotune.store` for the on-disk robustness
+contract, and :mod:`repro.autotune.session` for the dispatch wrapper
+with measure-and-promote refinement.
+
+Quick start::
+
+    from repro.autotune import AutotuneSession
+
+    session = AutotuneSession(refine=True)
+    y = session.ttm(x, u, mode=1)   # estimator once, cache thereafter
+"""
+
+from repro.autotune.cache import (
+    CacheEntry,
+    CacheStats,
+    PlanCache,
+    PlanKey,
+    plan_digest,
+)
+from repro.autotune.session import AutotuneSession
+from repro.autotune.store import CACHE_PATH_ENV, PlanStore, default_cache_path
+
+__all__ = [
+    "AutotuneSession",
+    "CacheEntry",
+    "CacheStats",
+    "PlanCache",
+    "PlanKey",
+    "PlanStore",
+    "CACHE_PATH_ENV",
+    "default_cache_path",
+    "plan_digest",
+]

@@ -1,0 +1,319 @@
+"""The persistent plan cache: per-signature tuned decisions that survive.
+
+Every process used to pay the parameter estimator (and the exhaustive
+tuner, when asked) again for signatures the machine had already planned.
+:class:`PlanCache` memoizes those decisions across processes: entries
+are keyed by the full dispatch signature — tensor shape, product mode,
+output rank J, storage layout, thread budget — inside a store file
+stamped with this machine's fingerprint, so a key never resolves to a
+decision tuned for different hardware.
+
+Besides the chosen plan, an entry remembers *evidence*: the best
+measured seconds per candidate plan digest (``trials``).  The online
+refinement loop (:class:`repro.autotune.session.AutotuneSession`) feeds
+these and promotes a measured winner over the estimator's guess — the
+measure-and-promote pattern of cuDNN-style autotune caches.
+
+Robustness contract: a store file that is corrupt, from another schema
+version, or from another machine is *never* trusted — the cache logs
+the reason, counts an invalidation (visible in :class:`repro.perf
+.profiler.HotCounters` and in :attr:`PlanCache.stats`) and degrades to
+an empty cache, i.e. the plain estimator path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+from dataclasses import asdict, dataclass, field
+from typing import Iterator, Sequence
+
+from repro.autotune.store import PlanStore, default_cache_path
+from repro.core.plan import TtmPlan
+from repro.core.serialize import plan_from_dict, plan_to_dict
+from repro.perf.profiler import active_hot_counters
+from repro.tensor.layout import Layout
+from repro.util.errors import CacheError, PlanError
+
+log = logging.getLogger("repro.autotune")
+
+
+def plan_digest(plan: TtmPlan) -> str:
+    """A short content digest identifying one exact plan configuration."""
+    text = json.dumps(plan_to_dict(plan), sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """The dispatch signature an autotuned decision is valid for."""
+
+    shape: tuple[int, ...]
+    mode: int
+    j: int
+    layout: Layout
+    threads: int
+
+    @classmethod
+    def make(
+        cls,
+        shape: Sequence[int],
+        mode: int,
+        j: int,
+        layout: Layout | str,
+        threads: int,
+    ) -> "PlanKey":
+        return cls(
+            shape=tuple(int(s) for s in shape),
+            mode=int(mode),
+            j=int(j),
+            layout=Layout.parse(layout),
+            threads=int(threads),
+        )
+
+    def encode(self) -> str:
+        """The JSON-object key form, e.g. ``20x20x20|m1|J16|ROW_MAJOR|T4``."""
+        dims = "x".join(str(s) for s in self.shape)
+        return f"{dims}|m{self.mode}|J{self.j}|{self.layout.name}|T{self.threads}"
+
+    @classmethod
+    def decode(cls, text: str) -> "PlanKey":
+        try:
+            dims, mode, j, layout, threads = text.split("|")
+            return cls(
+                shape=tuple(int(s) for s in dims.split("x")),
+                mode=int(mode.removeprefix("m")),
+                j=int(j.removeprefix("J")),
+                layout=Layout[layout],
+                threads=int(threads.removeprefix("T")),
+            )
+        except (ValueError, KeyError) as exc:
+            raise PlanError(f"malformed plan-cache key {text!r}") from exc
+
+
+@dataclass
+class CacheEntry:
+    """One cached decision plus the measurements backing it."""
+
+    plan: TtmPlan
+    source: str = "estimator"  # "estimator" | "tuned" | "measured"
+    seconds: float | None = None  # best measured seconds of ``plan``
+    trials: dict = field(default_factory=dict)  # digest -> best seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": plan_to_dict(self.plan),
+            "source": self.source,
+            "seconds": self.seconds,
+            "trials": dict(self.trials),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CacheEntry":
+        return cls(
+            plan=plan_from_dict(payload["plan"]),
+            source=str(payload.get("source", "estimator")),
+            seconds=payload.get("seconds"),
+            trials={
+                str(k): float(v)
+                for k, v in dict(payload.get("trials", {})).items()
+            },
+        )
+
+
+@dataclass
+class CacheStats:
+    """Lifetime tallies of one cache instance (mirrored to HotCounters)."""
+
+    hits: int = 0
+    misses: int = 0
+    promotions: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class PlanCache:
+    """Disk-backed, fingerprint-guarded map from :class:`PlanKey` to plan.
+
+    Parameters
+    ----------
+    path:
+        Store file location; defaults to :func:`repro.autotune.store
+        .default_cache_path` (respects ``$REPRO_PLAN_CACHE``).
+    fingerprint:
+        Machine stamp for the store file.  Defaults to this host's
+        :func:`repro.perf.machine.machine_fingerprint`; pass an explicit
+        value in tests or for portable (unstamped) caches.
+    autosave:
+        Persist after every mutation (entries are small; saves are
+        atomic).  Turn off for bulk loads and call :meth:`save` once.
+    """
+
+    def __init__(
+        self,
+        path: str | None = None,
+        fingerprint: str | None = None,
+        autosave: bool = True,
+        store: PlanStore | None = None,
+    ) -> None:
+        if store is None:
+            if fingerprint is None:
+                from repro.perf.machine import machine_fingerprint
+
+                fingerprint = machine_fingerprint()
+            store = PlanStore(path or default_cache_path(), fingerprint)
+        self.store = store
+        self.autosave = autosave
+        self.stats = CacheStats()
+        self._entries: dict[PlanKey, CacheEntry] = {}
+        self.reload()
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _count(self, event: str, n: int = 1) -> None:
+        setattr(self.stats, event, getattr(self.stats, event) + n)
+        counters = active_hot_counters()
+        if counters is not None:
+            counters.count_plan_cache(event, n)
+
+    @property
+    def path(self) -> str:
+        return self.store.path
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._entries
+
+    def items(self) -> Iterator[tuple[PlanKey, CacheEntry]]:
+        return iter(sorted(self._entries.items(), key=lambda kv: kv[0].encode()))
+
+    # -- persistence ----------------------------------------------------------
+
+    def reload(self) -> int:
+        """(Re)read the store; invalid files invalidate to an empty cache."""
+        self._entries = {}
+        try:
+            raw = self.store.load()
+            for key_text, payload in raw.items():
+                key = PlanKey.decode(key_text)
+                self._entries[key] = CacheEntry.from_dict(payload)
+        except (CacheError, PlanError) as exc:
+            # One bad entry poisons the file: a partially trusted cache
+            # is worse than none.  Count it, log it, start estimating.
+            self._entries = {}
+            self._count("invalidations")
+            log.warning(
+                "ignoring plan cache %s (%s: %s); falling back to the "
+                "estimator path",
+                self.store.path,
+                type(exc).__name__,
+                exc,
+            )
+        return len(self._entries)
+
+    def save(self) -> None:
+        self.store.save(
+            {key.encode(): entry.to_dict() for key, entry in self.items()}
+        )
+
+    def _autosave(self) -> None:
+        if self.autosave:
+            self.save()
+
+    def clear(self) -> int:
+        """Drop every entry and delete the store file; returns the count."""
+        dropped = len(self._entries)
+        self._entries = {}
+        self.store.clear()
+        return dropped
+
+    # -- the cache proper ------------------------------------------------------
+
+    def get(self, key: PlanKey) -> CacheEntry | None:
+        entry = self._entries.get(key)
+        self._count("hits" if entry is not None else "misses")
+        return entry
+
+    def peek(self, key: PlanKey) -> CacheEntry | None:
+        """Like :meth:`get` but without touching the hit/miss stats."""
+        return self._entries.get(key)
+
+    def put(
+        self,
+        key: PlanKey,
+        plan: TtmPlan,
+        source: str = "estimator",
+        seconds: float | None = None,
+    ) -> CacheEntry:
+        entry = CacheEntry(plan=plan, source=source, seconds=seconds)
+        if seconds is not None:
+            entry.trials[plan_digest(plan)] = float(seconds)
+        self._entries[key] = entry
+        self._autosave()
+        return entry
+
+    def record_trial(self, key: PlanKey, plan: TtmPlan, seconds: float) -> None:
+        """Fold one measurement into a key's evidence (keeps the minimum)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            raise CacheError(f"no cache entry for {key.encode()!r}")
+        digest = plan_digest(plan)
+        best = entry.trials.get(digest)
+        if best is None or seconds < best:
+            entry.trials[digest] = float(seconds)
+        if digest == plan_digest(entry.plan):
+            entry.seconds = entry.trials[digest]
+        self._autosave()
+
+    def promote(self, key: PlanKey, plan: TtmPlan, seconds: float) -> CacheEntry:
+        """Install a measured winner over the current decision for *key*."""
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._entries[key] = CacheEntry(plan=plan)
+        log.info(
+            "promoting measured plan for %s: %.3g s (was %s, %s s)",
+            key.encode(),
+            seconds,
+            entry.source,
+            "un-timed" if entry.seconds is None else f"{entry.seconds:.3g}",
+        )
+        entry.plan = plan
+        entry.source = "measured"
+        entry.seconds = float(seconds)
+        entry.trials[plan_digest(plan)] = min(
+            float(seconds), entry.trials.get(plan_digest(plan), float("inf"))
+        )
+        self._count("promotions")
+        self._autosave()
+        return entry
+
+    # -- InTensLi plan-source protocol ----------------------------------------
+
+    def get_plan(
+        self,
+        shape: Sequence[int],
+        mode: int,
+        j: int,
+        layout: Layout | str,
+        threads: int,
+    ) -> TtmPlan | None:
+        """Duck-typed lookup used by ``InTensLi.attach_plan_cache``."""
+        entry = self.get(PlanKey.make(shape, mode, j, layout, threads))
+        return entry.plan if entry is not None else None
+
+    def put_plan(
+        self,
+        shape: Sequence[int],
+        mode: int,
+        j: int,
+        layout: Layout | str,
+        threads: int,
+        plan: TtmPlan,
+        source: str = "estimator",
+    ) -> None:
+        self.put(PlanKey.make(shape, mode, j, layout, threads), plan, source)

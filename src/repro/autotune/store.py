@@ -1,0 +1,140 @@
+"""Disk persistence for the autotune plan cache.
+
+One store file holds every tuned decision for one machine, as JSON:
+
+.. code-block:: json
+
+    {
+      "schema": 2,
+      "fingerprint": "9f2c...",
+      "entries": {
+        "20x20x20|m1|J16|ROW_MAJOR|T1": {
+          "plan": { ... plan_to_dict ... },
+          "source": "estimator",
+          "seconds": 1.2e-4,
+          "trials": {"<digest>": 1.2e-4, "<digest>": 2.0e-4}
+        }
+      }
+    }
+
+The header reuses :mod:`repro.core.serialize`'s schema-version +
+machine-fingerprint envelope, so the three failure modes a persistent
+cache meets in the wild are told apart and surfaced as distinct
+exceptions: :class:`~repro.util.errors.StoreCorruptError` (truncated or
+mangled JSON — e.g. a reader racing a non-atomic writer),
+:class:`~repro.util.errors.SchemaMismatchError` (file from another
+release) and :class:`~repro.util.errors.FingerprintMismatchError` (file
+from another machine).  Writes go through a temp file + ``os.replace``
+so a concurrent reader only ever sees the old or the new file, never a
+half-written one.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+
+from repro.core.serialize import cache_header, check_cache_header
+from repro.util.errors import StoreCorruptError
+
+log = logging.getLogger("repro.autotune")
+
+#: Environment variable overriding the default store location.
+CACHE_PATH_ENV = "REPRO_PLAN_CACHE"
+
+
+def default_cache_path() -> str:
+    """Where the plan cache lives unless told otherwise.
+
+    ``$REPRO_PLAN_CACHE`` wins; otherwise ``$XDG_CACHE_HOME/repro`` (or
+    ``~/.cache/repro``) ``/plans.json``.
+    """
+    override = os.environ.get(CACHE_PATH_ENV)
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.expanduser("~/.cache")
+    return os.path.join(base, "repro", "plans.json")
+
+
+class PlanStore:
+    """Atomic load/save of one machine's plan-cache file.
+
+    The store is deliberately dumb: it moves header-checked dicts
+    between disk and memory and raises the typed errors above.  Policy —
+    what to do when a file is bad, what the entries mean — lives in
+    :class:`repro.autotune.cache.PlanCache`.
+    """
+
+    def __init__(self, path: str, fingerprint: str | None = None) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def load(self) -> dict:
+        """The entries mapping from disk (``{}`` when no file exists).
+
+        Raises :class:`StoreCorruptError`, :class:`SchemaMismatchError`
+        or :class:`FingerprintMismatchError`; never returns a partially
+        trusted payload.
+        """
+        try:
+            with open(self.path) as fh:
+                text = fh.read()
+        except FileNotFoundError:
+            return {}
+        except OSError as exc:
+            raise StoreCorruptError(
+                f"cannot read plan store {self.path}: {exc}"
+            ) from exc
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreCorruptError(
+                f"plan store {self.path} is not valid JSON "
+                f"(half-written or mangled): {exc}"
+            ) from exc
+        check_cache_header(payload, self.fingerprint)
+        entries = payload.get("entries")
+        if not isinstance(entries, dict):
+            raise StoreCorruptError(
+                f"plan store {self.path} has no entries object"
+            )
+        for key, entry in entries.items():
+            if not isinstance(entry, dict) or "plan" not in entry:
+                raise StoreCorruptError(
+                    f"plan store {self.path} entry {key!r} is malformed"
+                )
+        return entries
+
+    def save(self, entries: dict) -> None:
+        """Atomically replace the store file with *entries*."""
+        payload = cache_header(self.fingerprint)
+        payload["entries"] = entries
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".plans-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> bool:
+        """Delete the store file; True when one existed."""
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            return False
+        log.info("cleared plan store %s", self.path)
+        return True

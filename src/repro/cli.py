@@ -15,6 +15,9 @@ Commands
 ``bench NAME``
     Run one paper experiment's harness (e.g. ``fig10``); ``bench list``
     enumerates them.
+``cache show | clear | warm SHAPE MODE J``
+    Inspect, delete, or pre-populate the persistent autotune plan cache
+    (``$REPRO_PLAN_CACHE`` or ``~/.cache/repro/plans.json``).
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ _BENCHES = {
     "sparse": "bench_sparse_ttm",
     "distributed": "bench_distributed_ttm",
     "batched": "bench_batched_inttm",
+    "autotune": "bench_autotune_cache",
     "ablation-chain": "bench_ablation_chain",
     "ablation-estimator": "bench_ablation_estimator",
     "ablation-degree": "bench_ablation_degree",
@@ -159,6 +163,59 @@ def cmd_verify(_args) -> int:
     return 0
 
 
+def cmd_cache_show(args) -> int:
+    from repro.autotune import PlanCache, default_cache_path
+    from repro.perf.machine import machine_fingerprint
+
+    path = args.path or default_cache_path()
+    cache = PlanCache(path=path, autosave=False)
+    print(f"store        {path}")
+    print(f"fingerprint  {machine_fingerprint()}")
+    print(f"entries      {len(cache)}")
+    if cache.stats.invalidations:
+        print("status       INVALIDATED (corrupt/stale/foreign store file)")
+    for key, entry in cache.items():
+        timed = "-" if entry.seconds is None else f"{entry.seconds:.3g}s"
+        print(
+            f"  {key.encode():40s} {entry.source:9s} {timed:>9s} "
+            f"trials={len(entry.trials)}"
+        )
+        if args.verbose:
+            print(f"    {entry.plan.describe()}")
+    return 0
+
+
+def cmd_cache_clear(args) -> int:
+    from repro.autotune import PlanStore, default_cache_path
+
+    path = args.path or default_cache_path()
+    if PlanStore(path).clear():
+        print(f"removed {path}")
+    else:
+        print(f"no cache at {path}")
+    return 0
+
+
+def cmd_cache_warm(args) -> int:
+    from repro.autotune import AutotuneSession, default_cache_path
+    from repro.core import InTensLi
+
+    path = args.path or default_cache_path()
+    shape = _parse_shape(args.shape)
+    session = AutotuneSession(
+        InTensLi(max_threads=args.threads), path=path
+    )
+    fresh = session.warm(
+        [(shape, args.mode, j, args.layout) for j in args.j]
+    )
+    total = len(session.cache)
+    noun = "entry" if total == 1 else "entries"
+    print(f"warmed {total} {noun} ({fresh} new) in {path}")
+    for key, entry in session.cache.items():
+        print(f"  {key.encode():40s} {entry.plan.describe()}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     if args.name == "list":
         for name in sorted(_BENCHES):
@@ -232,6 +289,35 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="run one paper experiment")
     bench.add_argument("name", help="experiment id (or 'list')")
     bench.set_defaults(fn=cmd_bench)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or manage the autotune plan cache"
+    )
+    cache_sub = cache.add_subparsers(dest="action", required=True)
+
+    show = cache_sub.add_parser("show", help="list cached plan decisions")
+    show.add_argument("--path", default=None, help="store file override")
+    show.add_argument(
+        "--verbose", action="store_true", help="also print each full plan"
+    )
+    show.set_defaults(fn=cmd_cache_show)
+
+    clear = cache_sub.add_parser("clear", help="delete the cache store file")
+    clear.add_argument("--path", default=None, help="store file override")
+    clear.set_defaults(fn=cmd_cache_clear)
+
+    warm = cache_sub.add_parser(
+        "warm", help="pre-plan signatures so first requests skip the estimator"
+    )
+    warm.add_argument("shape", help="tensor shape, e.g. 100x100x100")
+    warm.add_argument("mode", type=int, help="0-based product mode")
+    warm.add_argument(
+        "j", type=int, nargs="+", help="output rank(s) J to warm"
+    )
+    warm.add_argument("--layout", default="C", choices=["C", "F"])
+    warm.add_argument("--threads", type=int, default=1)
+    warm.add_argument("--path", default=None, help="store file override")
+    warm.set_defaults(fn=cmd_cache_warm)
     return parser
 
 

@@ -28,6 +28,9 @@ from repro.core.codegen import compile_plan, generate_source
 from repro.core.tuner import ExhaustiveTuner, TunerResult, enumerate_plans
 from repro.core.predict import predict_gflops, predict_seconds, rank_plans
 from repro.core.serialize import (
+    SCHEMA_VERSION,
+    cache_header,
+    check_cache_header,
     load_plans,
     plan_from_dict,
     plan_to_dict,
@@ -77,5 +80,8 @@ __all__ = [
     "plans_from_json",
     "plans_to_json",
     "save_plans",
+    "SCHEMA_VERSION",
+    "cache_header",
+    "check_cache_header",
     "InTensLi",
 ]

@@ -35,6 +35,7 @@ from repro.core.partition import (
 from repro.core.plan import TtmPlan
 from repro.core.threads import DEFAULT_PTH_BYTES, allocate_threads
 from repro.gemm.bench import GemmProfile
+from repro.perf.profiler import active_hot_counters
 from repro.tensor.layout import Layout
 from repro.util.validation import check_mode, check_positive_int
 
@@ -109,6 +110,12 @@ class ParameterEstimator:
         layout: Layout | str = Layout.ROW_MAJOR,
     ) -> TtmPlan:
         """The near-optimal plan for one TTM input."""
+        counters = active_hot_counters()
+        if counters is not None:
+            # Planning cost is part of the dispatch overhead the hot-path
+            # counters exist to expose: a cache layer that works shows
+            # this staying flat while TTM calls accumulate.
+            counters.count_estimate()
         layout = Layout.parse(layout)
         shape_t = tuple(int(s) for s in shape)
         order = len(shape_t)

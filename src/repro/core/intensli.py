@@ -103,8 +103,23 @@ class InTensLi:
             kappa=kappa,
         )
         self._plan_cache: dict[tuple, TtmPlan] = {}
+        self._persistent_cache = None
 
     # -- planning -------------------------------------------------------------
+
+    def attach_plan_cache(self, cache) -> None:
+        """Route plan lookups through a persistent cache.
+
+        *cache* is duck-typed — anything with ``get_plan(shape, mode, j,
+        layout, threads)`` and ``put_plan(..., plan, source)``; in
+        practice a :class:`repro.autotune.PlanCache` (this facade cannot
+        import it directly without inverting the layering).  While
+        attached, the cache replaces the private per-process dict as the
+        single source of truth, so decisions survive the process and are
+        shared with any :class:`repro.autotune.AutotuneSession` wrapping
+        this instance.
+        """
+        self._persistent_cache = cache
 
     def plan(
         self,
@@ -115,10 +130,22 @@ class InTensLi:
     ) -> TtmPlan:
         """The (cached) plan for an input signature."""
         layout = Layout.parse(layout)
-        key = (tuple(int(s) for s in shape), mode, j, layout)
+        shape_t = tuple(int(s) for s in shape)
+        if self._persistent_cache is not None:
+            plan = self._persistent_cache.get_plan(
+                shape_t, mode, j, layout, self.max_threads
+            )
+            if plan is None:
+                plan = self.estimator.estimate(shape_t, mode, j, layout)
+                self._persistent_cache.put_plan(
+                    shape_t, mode, j, layout, self.max_threads, plan,
+                    source="estimator",
+                )
+            return plan
+        key = (shape_t, mode, j, layout)
         plan = self._plan_cache.get(key)
         if plan is None:
-            plan = self.estimator.estimate(shape, mode, j, layout)
+            plan = self.estimator.estimate(shape_t, mode, j, layout)
             self._plan_cache[key] = plan
         return plan
 
@@ -159,6 +186,11 @@ class InTensLi:
         )
         best = result.best_plan
         self._plan_cache[best.cache_key()] = best
+        if self._persistent_cache is not None:
+            self._persistent_cache.put_plan(
+                best.shape, best.mode, best.j, best.layout,
+                self.max_threads, best, source="tuned",
+            )
         return best
 
     def save_plan_cache(self, path: str) -> int:

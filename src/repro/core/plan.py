@@ -24,7 +24,6 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.tensor.layout import Layout, element_strides
 from repro.util.errors import LayoutError, PlanError

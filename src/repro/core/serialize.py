@@ -6,6 +6,14 @@ the derived configuration are computed once per machine and reused.
 adds JSON round-tripping for plans and for whole plan caches, so a
 deployment can pin its tuned configurations in version control and skip
 estimation at run time.
+
+Plan-cache files carry a versioned header — ``{"schema": N,
+"fingerprint": ...}`` — so readers can tell three failure modes apart:
+a file written under an incompatible schema, a file autotuned on a
+different machine (see :meth:`repro.perf.machine.MachineInfo
+.fingerprint`), and plain corruption.  The persistent autotune store
+(:mod:`repro.autotune.store`) builds on the same header helpers.
+Legacy headerless files (a bare JSON list of plans) still load.
 """
 
 from __future__ import annotations
@@ -15,7 +23,17 @@ from typing import Iterable
 
 from repro.core.plan import Strategy, TtmPlan
 from repro.tensor.layout import Layout
-from repro.util.errors import PlanError
+from repro.util.errors import (
+    FingerprintMismatchError,
+    PlanError,
+    SchemaMismatchError,
+    StoreCorruptError,
+)
+
+#: Version of the on-disk plan/cache format.  Bump when the envelope or
+#: the per-plan payload changes incompatibly; readers reject other
+#: versions with :class:`SchemaMismatchError` rather than guessing.
+SCHEMA_VERSION = 2
 
 
 def plan_to_dict(plan: TtmPlan) -> dict:
@@ -57,23 +75,83 @@ def plan_from_dict(payload: dict) -> TtmPlan:
         raise PlanError(f"plan payload missing field {exc}") from exc
 
 
-def plans_to_json(plans: Iterable[TtmPlan]) -> str:
+def cache_header(fingerprint: str | None = None) -> dict:
+    """The envelope header every versioned cache file leads with."""
+    return {"schema": SCHEMA_VERSION, "fingerprint": fingerprint}
+
+
+def check_cache_header(
+    payload: dict, expected_fingerprint: str | None = None
+) -> None:
+    """Validate a cache envelope's schema version and machine stamp.
+
+    Raises :class:`StoreCorruptError` for a malformed header,
+    :class:`SchemaMismatchError` for a different schema version, and
+    :class:`FingerprintMismatchError` when both the file and the caller
+    declare fingerprints and they disagree.  Files written without a
+    fingerprint (``None``) are accepted anywhere — the portable,
+    geometry-only deployment mode.
+    """
+    if not isinstance(payload, dict):
+        raise StoreCorruptError(
+            f"cache payload must be an object, got {type(payload).__name__}"
+        )
+    schema = payload.get("schema")
+    if not isinstance(schema, int):
+        raise StoreCorruptError(f"cache header has no integer schema: {schema!r}")
+    if schema != SCHEMA_VERSION:
+        raise SchemaMismatchError(
+            f"cache schema {schema} != supported {SCHEMA_VERSION}"
+        )
+    found = payload.get("fingerprint")
+    if (
+        expected_fingerprint is not None
+        and found is not None
+        and found != expected_fingerprint
+    ):
+        raise FingerprintMismatchError(
+            f"cache fingerprint {found!r} does not match this machine "
+            f"({expected_fingerprint!r})"
+        )
+
+
+def plans_to_json(
+    plans: Iterable[TtmPlan], fingerprint: str | None = None
+) -> str:
     """Serialize a collection of plans (e.g. an InTensLi cache)."""
-    return json.dumps([plan_to_dict(p) for p in plans], indent=2)
+    payload = cache_header(fingerprint)
+    payload["plans"] = [plan_to_dict(p) for p in plans]
+    return json.dumps(payload, indent=2)
 
 
-def plans_from_json(text: str) -> list[TtmPlan]:
-    payload = json.loads(text)
-    if not isinstance(payload, list):
+def plans_from_json(
+    text: str, expected_fingerprint: str | None = None
+) -> list[TtmPlan]:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise StoreCorruptError(f"plan cache is not valid JSON: {exc}") from exc
+    if isinstance(payload, list):
+        # Legacy schema-1 files: a bare list, no header, no fingerprint.
+        return [plan_from_dict(p) for p in payload]
+    if not isinstance(payload, dict):
         raise PlanError("plan cache JSON must be a list of plan objects")
-    return [plan_from_dict(p) for p in payload]
+    check_cache_header(payload, expected_fingerprint)
+    plans = payload.get("plans")
+    if not isinstance(plans, list):
+        raise PlanError("plan cache JSON must be a list of plan objects")
+    return [plan_from_dict(p) for p in plans]
 
 
-def save_plans(plans: Iterable[TtmPlan], path: str) -> None:
+def save_plans(
+    plans: Iterable[TtmPlan], path: str, fingerprint: str | None = None
+) -> None:
     with open(path, "w") as fh:
-        fh.write(plans_to_json(plans))
+        fh.write(plans_to_json(plans, fingerprint=fingerprint))
 
 
-def load_plans(path: str) -> list[TtmPlan]:
+def load_plans(
+    path: str, expected_fingerprint: str | None = None
+) -> list[TtmPlan]:
     with open(path) as fh:
-        return plans_from_json(fh.read())
+        return plans_from_json(fh.read(), expected_fingerprint)

@@ -24,6 +24,7 @@ from repro.core.partition import (
 )
 from repro.core.plan import TtmPlan
 from repro.perf.flops import gflops_rate, ttm_flops
+from repro.perf.profiler import active_hot_counters
 from repro.perf.timing import time_callable
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import Layout
@@ -148,6 +149,27 @@ class ExhaustiveTuner:
             return lambda: fn(x.data, u, out.data)
         return lambda: ttm_inplace(x, u, plan=plan, out=out)
 
+    def time_plan(
+        self,
+        plan: TtmPlan,
+        x: DenseTensor,
+        u: np.ndarray,
+        out: DenseTensor | None = None,
+    ) -> float:
+        """Measured seconds for one candidate on real data.
+
+        The unit the sweep is built from, exposed so callers that only
+        want to try *a few* candidates — the autotune session's online
+        refinement — time them exactly the way the exhaustive tuner
+        would.
+        """
+        if out is None:
+            out = DenseTensor.empty(plan.out_shape, x.layout)
+        run = self._runner(plan, x, np.asarray(u, dtype=np.float64), out)
+        return time_callable(
+            run, min_repeats=self.min_repeats, min_seconds=self.min_seconds
+        )
+
     def sweep(
         self,
         x: DenseTensor,
@@ -157,21 +179,15 @@ class ExhaustiveTuner:
         kernels: Sequence[str] = ("blas",),
     ) -> TunerResult:
         """Run all candidates for ``X x_mode U``; returns their timings."""
+        counters = active_hot_counters()
+        if counters is not None:
+            counters.count_tuner_sweep()
         u = np.asarray(u, dtype=np.float64)
         plans = enumerate_plans(
             x.shape, mode, u.shape[0], x.layout, max_threads, kernels
         )
         out = DenseTensor.empty(plans[0].out_shape, x.layout)
-        seconds = []
-        for plan in plans:
-            run = self._runner(plan, x, u, out)
-            seconds.append(
-                time_callable(
-                    run,
-                    min_repeats=self.min_repeats,
-                    min_seconds=self.min_seconds,
-                )
-            )
+        seconds = [self.time_plan(plan, x, u, out) for plan in plans]
         return TunerResult(
             plans=plans, seconds=seconds, flops=ttm_flops(x.shape, u.shape[0])
         )

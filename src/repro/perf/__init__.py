@@ -13,7 +13,7 @@ from repro.perf.profiler import (
     active_hot_counters,
     track_hot_path,
 )
-from repro.perf.machine import MachineInfo, machine_info
+from repro.perf.machine import MachineInfo, machine_fingerprint, machine_info
 from repro.perf.calibrate import (
     host_platform,
     measure_bandwidth,
@@ -36,5 +36,6 @@ __all__ = [
     "active_hot_counters",
     "track_hot_path",
     "MachineInfo",
+    "machine_fingerprint",
     "machine_info",
 ]

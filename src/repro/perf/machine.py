@@ -7,6 +7,7 @@ leads its evaluation with table 2.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import platform
 import re
@@ -30,6 +31,28 @@ class MachineInfo:
 
     def as_dict(self) -> dict:
         return asdict(self)
+
+    def fingerprint(self) -> str:
+        """A short stable digest identifying this performance platform.
+
+        Autotuned decisions (MSTH/MLTH thresholds, measured plan
+        promotions) are only valid on the machine that produced them, so
+        the persistent plan cache stamps its files with this value and
+        rejects foreign ones.  Only fields that change the performance
+        landscape participate: CPU model, core/CPU counts, LLC size and
+        the BLAS backend — not memory size or interpreter patch levels,
+        which would invalidate caches gratuitously.
+        """
+        basis = "|".join(
+            (
+                self.cpu_model,
+                str(self.physical_cores),
+                str(self.logical_cpus),
+                str(self.llc_bytes),
+                self.blas_backend,
+            )
+        )
+        return hashlib.sha256(basis.encode()).hexdigest()[:16]
 
     def table_rows(self) -> list[tuple[str, str]]:
         """Rows analogous to the paper's table 2."""
@@ -123,6 +146,11 @@ def _blas_backend() -> str:
     except (TypeError, AttributeError):
         pass
     return "unknown"
+
+
+def machine_fingerprint() -> str:
+    """The current host's :meth:`MachineInfo.fingerprint` (convenience)."""
+    return machine_info().fingerprint()
 
 
 def machine_info() -> MachineInfo:

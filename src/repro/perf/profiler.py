@@ -119,6 +119,14 @@ class HotCounters:
     ``gemm_calls + batched_calls`` is the interpreter crossings paid for
     it.  ``view_seconds`` accumulates time spent constructing strided
     views (the executor's non-GEMM overhead).
+
+    The planning layer reports here too, so a tracked region shows how
+    much *deciding* happened alongside the executing: ``estimator_runs``
+    counts full parameter estimations, ``tuner_sweeps`` exhaustive
+    sweeps, and the ``plan_cache_*`` fields mirror the persistent
+    autotune cache (:mod:`repro.autotune`) — lookups served (``hits``)
+    or not (``misses``), refinement ``promotions``, and store files
+    rejected as corrupt/stale/foreign (``invalidations``).
     """
 
     gemm_calls: int = 0
@@ -126,6 +134,12 @@ class HotCounters:
     batched_slices: int = 0
     max_batch: int = 0
     view_seconds: float = 0.0
+    estimator_runs: int = 0
+    tuner_sweeps: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_promotions: int = 0
+    plan_cache_invalidations: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -154,6 +168,28 @@ class HotCounters:
     def add_view_time(self, seconds: float) -> None:
         with self._lock:
             self.view_seconds += seconds
+
+    def count_estimate(self) -> None:
+        with self._lock:
+            self.estimator_runs += 1
+
+    def count_tuner_sweep(self) -> None:
+        with self._lock:
+            self.tuner_sweeps += 1
+
+    def count_plan_cache(self, event: str, n: int = 1) -> None:
+        """Bump one of the ``plan_cache_*`` tallies by name.
+
+        *event* is ``"hits"``, ``"misses"``, ``"promotions"`` or
+        ``"invalidations"`` — the same vocabulary
+        :class:`repro.autotune.CacheStats` uses, so the cache can mirror
+        its stats into an active tracking region with one call.
+        """
+        field_name = f"plan_cache_{event}"
+        if not hasattr(self, field_name):
+            raise ValueError(f"unknown plan-cache counter {event!r}")
+        with self._lock:
+            setattr(self, field_name, getattr(self, field_name) + n)
 
 
 _HOT_COUNTERS: HotCounters | None = None

@@ -91,7 +91,6 @@ class CsfTensor:
         fids: list[np.ndarray] = []
         fptr: list[np.ndarray] = []
         # Level l nodes = distinct prefixes of length l+1.
-        parent_starts = np.array([0], dtype=np.int64)  # virtual super-root
         nnz = idx.shape[0]
         for level in range(order):
             prefix = idx[:, : level + 1]

@@ -29,3 +29,24 @@ class PlanError(ReproError, ValueError):
 
 class BenchmarkError(ReproError, RuntimeError):
     """A benchmark profile is missing data required by the estimator."""
+
+
+class CacheError(ReproError, RuntimeError):
+    """A persistent plan-cache store cannot be used as-is.
+
+    Subclasses distinguish corruption, schema-version mismatches and
+    foreign machine fingerprints; all are recoverable — the cache logs,
+    counts an invalidation and rebuilds from the estimator path.
+    """
+
+
+class StoreCorruptError(CacheError, PlanError):
+    """A cache file is unreadable: truncated, invalid JSON, wrong types."""
+
+
+class SchemaMismatchError(CacheError, PlanError):
+    """A cache file was written under a different serialization schema."""
+
+
+class FingerprintMismatchError(CacheError, PlanError):
+    """A cache file was autotuned on a different machine."""

@@ -9,7 +9,6 @@ from repro.cachesim import (
     Region,
     copy_trace,
     gemm_trace,
-    run_trace,
     simulate_ttm_traffic,
     ttm_copy_trace,
     ttm_inplace_trace,
@@ -133,7 +132,6 @@ class TestGemmTrace:
         events = list(gemm_trace(a, b, c, kc=64))
         # 2 reads per (i,j,p) + 1 write per (i,j) per slab
         assert len(events) == 2 * 2 * 3 * 4 + 2 * 4
-        reads = [e for e in events if not e[1]]
         writes = [e for e in events if e[1]]
         assert len(writes) == 8
 

@@ -1,10 +1,9 @@
 """Tests for the blocked-GEMM trace: does Goto blocking pay off?"""
 
-import numpy as np
 import pytest
 
 from repro.cachesim import CacheModel, blocked_gemm_trace, gemm_trace
-from repro.cachesim.trace import Mat, Region
+from repro.cachesim.trace import Mat
 from repro.util.errors import ShapeError
 
 

@@ -65,8 +65,6 @@ class TestCommands:
 
     def test_profile_saves_json(self, tmp_path, capsys, monkeypatch):
         # Shrink the measurement grid for test speed.
-        import repro.cli as cli
-        from repro.gemm.bench import measure_profile
 
         def tiny_grid(m_values=(16,), **_kw):
             return [(m_values[0], 16, 16), (m_values[0], 32, 32)]

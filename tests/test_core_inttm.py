@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.inttm import default_plan, ttm_inplace
-from repro.core.plan import Strategy, TtmPlan
+from repro.core.plan import Strategy
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
 from repro.util.errors import PlanError, ShapeError

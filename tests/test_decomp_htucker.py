@@ -1,11 +1,10 @@
 """Tests for the hierarchical Tucker decomposition."""
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.decomp.htucker import HTucker, ht_error, ht_reconstruct, ht_svd
+from repro.decomp.htucker import ht_error, ht_reconstruct, ht_svd
 from repro.tensor.dense import DenseTensor
 from repro.tensor.generate import low_rank_tensor, random_tensor
 from repro.util.errors import ShapeError

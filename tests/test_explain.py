@@ -1,6 +1,5 @@
 """Tests for the plan explainer."""
 
-import pytest
 
 from repro.core.explain import explain_plan
 from repro.core.inttm import default_plan

@@ -8,7 +8,6 @@ interaction bugs (layout leaks, stale views, convention mismatches).
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -11,7 +11,6 @@ from repro.core import (
     InTensLi,
     enumerate_plans,
     generate_source,
-    predict_gflops,
     rank_plans,
 )
 from repro.decomp import cp_als, hooi, ht_svd, tt_svd

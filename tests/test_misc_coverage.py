@@ -1,7 +1,6 @@
 """Targeted tests for small helpers not covered elsewhere."""
 
 import numpy as np
-import pytest
 
 from repro.cachesim import region_layout
 from repro.gemm.threaded import _row_panels

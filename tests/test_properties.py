@@ -12,7 +12,6 @@ generated code — rather than on any single kernel:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

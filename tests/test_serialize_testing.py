@@ -116,7 +116,6 @@ class TestInTensLiCachePersistence:
         assert fresh.plan((20, 20, 20), 0, 4) == lib.plan((20, 20, 20), 0, 4)
 
     def test_loaded_plans_take_precedence(self, tmp_path):
-        lib = InTensLi()
         custom = default_plan((16, 16, 16), 0, 4, ROW_MAJOR, degree=1)
         from repro.core.serialize import save_plans
 

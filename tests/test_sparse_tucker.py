@@ -15,7 +15,6 @@ from repro.sparse import (
     ttm_sparse,
 )
 from repro.sparse.tucker import project_all_but
-from repro.tensor.dense import DenseTensor
 from repro.util.errors import ShapeError
 from tests.helpers import ttm_oracle
 

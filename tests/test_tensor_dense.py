@@ -5,7 +5,7 @@ import pytest
 
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
-from repro.util.errors import LayoutError, ShapeError
+from repro.util.errors import ShapeError
 
 
 class TestConstruction:
