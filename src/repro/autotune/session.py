@@ -35,6 +35,7 @@ from repro.autotune.cache import CacheEntry, PlanCache, PlanKey, plan_digest
 from repro.core.intensli import InTensLi
 from repro.core.plan import TtmPlan
 from repro.core.tuner import ExhaustiveTuner, enumerate_plans
+from repro.obs.tracer import active_tracer
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import Layout
 from repro.util.errors import ShapeError
@@ -182,6 +183,21 @@ class AutotuneSession:
         when a measurably faster configuration emerged, otherwise the
         incumbent.
         """
+        tracer = active_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "autotune-refine",
+                key=key.encode(),
+                trials=self.refine_trials,
+            ) as span:
+                plan = self._refine_impl(key, plan, x, u)
+                span.set(chosen=plan.describe())
+            return plan
+        return self._refine_impl(key, plan, x, u)
+
+    def _refine_impl(
+        self, key: PlanKey, plan: TtmPlan, x: DenseTensor, u: np.ndarray
+    ) -> TtmPlan:
         entry = self.cache.peek(key)
         if entry is None:  # plan() always seeds the entry; be defensive
             entry = self.cache.put(key, plan)

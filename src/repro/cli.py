@@ -18,6 +18,10 @@ Commands
 ``cache show | clear | warm SHAPE MODE J``
     Inspect, delete, or pre-populate the persistent autotune plan cache
     (``$REPRO_PLAN_CACHE`` or ``~/.cache/repro/plans.json``).
+``trace [WORKLOAD]``
+    Run a demo workload under the :mod:`repro.obs` tracer, print the
+    span tree, and optionally export Chrome-trace / JSON-lines files
+    (``--chrome trace.json`` loads in ``chrome://tracing``/Perfetto).
 """
 
 from __future__ import annotations
@@ -216,6 +220,67 @@ def cmd_cache_warm(args) -> int:
     return 0
 
 
+#: Demo workloads the ``trace`` subcommand can run under the tracer.
+TRACE_WORKLOADS = ("ttm", "chain")
+
+
+def _run_trace_workload(args) -> None:
+    import numpy as np
+
+    from repro.core import InTensLi
+    from repro.tensor.dense import DenseTensor
+
+    rng = np.random.default_rng(0)
+    shape = _parse_shape(args.shape)
+    lib = InTensLi(max_threads=args.threads, executor=args.executor)
+    x = DenseTensor(rng.standard_normal(shape), args.layout)
+    if args.workload == "ttm":
+        # Two identical calls: the first trace shows the full
+        # plan -> partition path, the second a pure cache hit.
+        u = rng.standard_normal((args.j, shape[args.mode]))
+        lib.ttm(x, u, args.mode)
+        lib.ttm(x, u, args.mode)
+    else:  # chain: project every mode in turn (the Tucker access pattern)
+        current = x
+        for mode in range(len(shape)):
+            u = rng.standard_normal((args.j, current.shape[mode]))
+            current = lib.ttm(current, u, mode)
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import (
+        Tracer,
+        render_span_tree,
+        tracing,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    tracer = Tracer()
+    with tracing(tracer):
+        _run_trace_workload(args)
+    spans = tracer.collector.spans()
+    print(render_span_tree(spans))
+    counters = tracer.counters.as_dict()
+    interesting = {k: v for k, v in counters.items() if v}
+    if interesting:
+        print()
+        print("counters:")
+        for name in sorted(interesting):
+            value = interesting[name]
+            if isinstance(value, float):
+                print(f"  {name:26s} {value:.3g}")
+            else:
+                print(f"  {name:26s} {value}")
+    if args.chrome:
+        write_chrome_trace(spans, args.chrome)
+        print(f"\nwrote Chrome trace ({len(spans)} spans) to {args.chrome}")
+    if args.jsonl:
+        write_jsonl(spans, args.jsonl)
+        print(f"wrote JSON-lines spans to {args.jsonl}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     if args.name == "list":
         for name in sorted(_BENCHES):
@@ -285,6 +350,38 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--layout", default="C", choices=["C", "F"])
     predict.add_argument("--threads", type=int, default=1)
     predict.set_defaults(fn=cmd_predict)
+
+    trace = sub.add_parser(
+        "trace", help="run a demo workload under the repro.obs tracer"
+    )
+    trace.add_argument(
+        "workload",
+        nargs="?",
+        default="ttm",
+        choices=TRACE_WORKLOADS,
+        help="demo workload: 'ttm' (plan+execute twice, showing the "
+        "cache hit) or 'chain' (project every mode in turn)",
+    )
+    trace.add_argument("--shape", default="24x24x24")
+    trace.add_argument("--mode", type=int, default=1)
+    trace.add_argument("--j", type=int, default=8)
+    trace.add_argument("--layout", default="C", choices=["C", "F"])
+    trace.add_argument("--threads", type=int, default=1)
+    trace.add_argument(
+        "--executor", default="interpreted",
+        choices=["interpreted", "generated"],
+        help="execution engine to trace (interpreted shows the full "
+        "view-build/parfor/kernel hierarchy)",
+    )
+    trace.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="export a chrome://tracing / Perfetto trace_event JSON file",
+    )
+    trace.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="export spans as JSON-lines",
+    )
+    trace.set_defaults(fn=cmd_trace)
 
     bench = sub.add_parser("bench", help="run one paper experiment")
     bench.add_argument("name", help="experiment id (or 'list')")

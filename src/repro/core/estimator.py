@@ -35,6 +35,7 @@ from repro.core.partition import (
 from repro.core.plan import TtmPlan
 from repro.core.threads import DEFAULT_PTH_BYTES, allocate_threads
 from repro.gemm.bench import GemmProfile
+from repro.obs.tracer import active_tracer
 from repro.perf.profiler import active_hot_counters
 from repro.tensor.layout import Layout
 from repro.util.validation import check_mode, check_positive_int
@@ -122,6 +123,36 @@ class ParameterEstimator:
         mode = check_mode(mode, order)
         check_positive_int(j, "j")
 
+        tracer = active_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "partition",
+                shape=list(shape_t),
+                mode=mode,
+                j=j,
+                layout=layout.name,
+                threads=self.max_threads,
+            ) as span:
+                plan = self._estimate_impl(shape_t, order, mode, j, layout)
+                span.set(
+                    strategy=plan.strategy.value,
+                    degree=plan.degree,
+                    batch_modes=list(plan.batch_modes),
+                    loop_threads=plan.loop_threads,
+                    kernel_threads=plan.kernel_threads,
+                    kernel=plan.kernel,
+                )
+            return plan
+        return self._estimate_impl(shape_t, order, mode, j, layout)
+
+    def _estimate_impl(
+        self,
+        shape_t: tuple[int, ...],
+        order: int,
+        mode: int,
+        j: int,
+        layout: Layout,
+    ) -> TtmPlan:
         strategy = strategy_for(order, mode, layout)
         thresholds = self.thresholds_for(j)
         degree = choose_degree(

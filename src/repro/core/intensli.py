@@ -31,6 +31,7 @@ from repro.gemm.bench import (
     measure_profile,
     synthetic_profile,
 )
+from repro.obs.tracer import active_tracer
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import Layout
 from repro.util.errors import ShapeError
@@ -131,10 +132,43 @@ class InTensLi:
         """The (cached) plan for an input signature."""
         layout = Layout.parse(layout)
         shape_t = tuple(int(s) for s in shape)
-        if self._persistent_cache is not None:
-            plan = self._persistent_cache.get_plan(
-                shape_t, mode, j, layout, self.max_threads
+        tracer = active_tracer()
+        if not tracer.enabled:
+            return self._plan_impl(shape_t, mode, j, layout)
+        with tracer.span(
+            "plan",
+            shape=list(shape_t),
+            mode=mode,
+            j=j,
+            layout=layout.name,
+            threads=self.max_threads,
+        ) as span:
+            plan = self._plan_impl(shape_t, mode, j, layout)
+            span.set(
+                strategy=plan.strategy.value,
+                degree=plan.degree,
+                batch_modes=list(plan.batch_modes),
+                loop_threads=plan.loop_threads,
+                kernel_threads=plan.kernel_threads,
+                kernel=plan.kernel,
             )
+        return plan
+
+    def _plan_impl(
+        self, shape_t: tuple[int, ...], mode: int, j: int, layout: Layout
+    ) -> TtmPlan:
+        tracer = active_tracer()
+        if self._persistent_cache is not None:
+            if tracer.enabled:
+                with tracer.span("cache-lookup", persistent=True) as span:
+                    plan = self._persistent_cache.get_plan(
+                        shape_t, mode, j, layout, self.max_threads
+                    )
+                    span.set(hit=plan is not None)
+            else:
+                plan = self._persistent_cache.get_plan(
+                    shape_t, mode, j, layout, self.max_threads
+                )
             if plan is None:
                 plan = self.estimator.estimate(shape_t, mode, j, layout)
                 self._persistent_cache.put_plan(
@@ -143,7 +177,12 @@ class InTensLi:
                 )
             return plan
         key = (shape_t, mode, j, layout)
-        plan = self._plan_cache.get(key)
+        if tracer.enabled:
+            with tracer.span("cache-lookup", persistent=False) as span:
+                plan = self._plan_cache.get(key)
+                span.set(hit=plan is not None)
+        else:
+            plan = self._plan_cache.get(key)
         if plan is None:
             plan = self.estimator.estimate(shape_t, mode, j, layout)
             self._plan_cache[key] = plan
@@ -236,8 +275,20 @@ class InTensLi:
             raise ShapeError(f"U must be 2-D, got {u.ndim}-D")
         if transpose_u:
             u = u.T
-        plan = self.plan(x.shape, mode, u.shape[0], x.layout)
-        return self.execute(plan, x, u, out=out)
+        tracer = active_tracer()
+        if not tracer.enabled:
+            plan = self.plan(x.shape, mode, u.shape[0], x.layout)
+            return self.execute(plan, x, u, out=out)
+        with tracer.span(
+            "ttm",
+            shape=list(x.shape),
+            mode=mode,
+            j=int(u.shape[0]),
+            layout=x.layout.name,
+            executor=self.executor,
+        ):
+            plan = self.plan(x.shape, mode, u.shape[0], x.layout)
+            return self.execute(plan, x, u, out=out)
 
     def execute(
         self,
@@ -267,7 +318,19 @@ class InTensLi:
                 f"{plan.out_shape}/{plan.layout.name}"
             )
         fn = compile_plan(plan)
-        fn(x.data, u, out.data)
+        tracer = active_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "execute",
+                executor="generated",
+                kernel=plan.kernel,
+                degree=plan.degree,
+                batch_modes=list(plan.batch_modes),
+                flops=plan.total_flops,
+            ):
+                fn(x.data, u, out.data)
+        else:
+            fn(x.data, u, out.data)
         return out
 
 

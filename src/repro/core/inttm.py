@@ -40,6 +40,7 @@ from repro.core.plan import Strategy, TtmPlan
 from repro.gemm.batched import gemm_batched
 from repro.gemm.interface import resolve_kernel
 from repro.gemm.threaded import gemm_threaded
+from repro.obs.tracer import active_tracer
 from repro.parallel.parfor import parfor
 from repro.perf.profiler import active_hot_counters
 from repro.tensor.dense import DenseTensor
@@ -187,16 +188,18 @@ def _execute_batched(x, u, ut, y, plan: TtmPlan, accumulate: bool) -> None:
     outer = plan.outer_loop_modes
     forward = plan.strategy is Strategy.FORWARD or plan.degree == 0
     counters = active_hot_counters()
+    tracer = active_tracer()
     run_batched = _batched_runner(plan, accumulate=accumulate)
 
     # Degree 0 batches fibers as (B, I_n, 1) single-column matrices.
     rows_x = (mode_t,)
-    if forward:
-        x_views = BatchViewFactory(x, batch, rows_x, comp, outer)
-        y_views = BatchViewFactory(y, batch, rows_x, comp, outer)
-    else:
-        x_views = BatchViewFactory(x, batch, comp, rows_x, outer)
-        y_views = BatchViewFactory(y, batch, comp, rows_x, outer)
+    with tracer.span("view-build", engine="batched", batch_modes=list(batch)):
+        if forward:
+            x_views = BatchViewFactory(x, batch, rows_x, comp, outer)
+            y_views = BatchViewFactory(y, batch, rows_x, comp, outer)
+        else:
+            x_views = BatchViewFactory(x, batch, comp, rows_x, outer)
+            y_views = BatchViewFactory(y, batch, comp, rows_x, outer)
 
     def dispatch(x3, y3):
         # Algorithm 2's kernel, lifted to rank 3 over the batch run:
@@ -207,6 +210,28 @@ def _execute_batched(x, u, ut, y, plan: TtmPlan, accumulate: bool) -> None:
             run_batched(x3, ut, y3)
         if counters is not None:
             counters.count_batched(x3.shape[0])
+
+    if tracer.enabled:
+        # Parent kernel spans to the span current *here*, so bodies run
+        # by parfor worker threads stay attached to this dispatch.
+        dispatch_parent = tracer.current_span()
+        m_k, k_k, n_k = plan.kernel_shape
+        plain_dispatch = dispatch
+
+        def dispatch(x3, y3):
+            with tracer.span(
+                "gemm-kernel",
+                # Worker threads have an empty span stack: fall back to
+                # the span that was current at dispatch-construction time
+                # so their kernels stay attached to this call's tree.
+                parent=tracer.current_span() or dispatch_parent,
+                batch=int(x3.shape[0]),
+                m=m_k,
+                k=k_k,
+                n=n_k,
+                kernel=plan.kernel,
+            ):
+                plain_dispatch(x3, y3)
 
     b_extent = x_views.batch_extent
     if plan.loop_threads > 1 and not outer and b_extent > 1:
@@ -249,19 +274,43 @@ def _execute_looped(x, u, ut, y, plan: TtmPlan, accumulate: bool) -> None:
     loops = plan.loop_modes
     forward = plan.strategy is Strategy.FORWARD or plan.degree == 0
     counters = active_hot_counters()
+    tracer = active_tracer()
     run_kernel = _kernel_runner(plan, accumulate=accumulate)
 
     # Degree 0 falls into the forward shape with an empty column run:
     # each kernel is a GEMV-shaped GEMM on an (I_n, 1) fiber view.
     rows = (mode_t,)
-    if forward:
-        x_views = MatrixViewFactory(x, rows, comp, loops)
-        y_views = MatrixViewFactory(y, rows, comp, loops)
-    else:
-        x_views = MatrixViewFactory(x, comp, rows, loops)
-        y_views = MatrixViewFactory(y, comp, rows, loops)
+    with tracer.span("view-build", engine="looped", loop_modes=list(loops)):
+        if forward:
+            x_views = MatrixViewFactory(x, rows, comp, loops)
+            y_views = MatrixViewFactory(y, rows, comp, loops)
+        else:
+            x_views = MatrixViewFactory(x, comp, rows, loops)
+            y_views = MatrixViewFactory(y, comp, rows, loops)
 
-    if counters is None:
+    if tracer.enabled:
+        dispatch_parent = tracer.current_span()
+        m_k, k_k, n_k = plan.kernel_shape
+
+        def body(index):
+            x_sub = x_views.view(index)
+            y_sub = y_views.view(index)
+            with tracer.span(
+                "gemm-kernel",
+                parent=tracer.current_span() or dispatch_parent,
+                m=m_k,
+                k=k_k,
+                n=n_k,
+                kernel=plan.kernel,
+            ):
+                if forward:
+                    run_kernel(u, x_sub, y_sub)
+                else:
+                    run_kernel(x_sub, ut, y_sub)
+            if counters is not None:
+                counters.count_gemm()
+
+    elif counters is None:
 
         def body(index):
             x_sub = x_views.view(index)
@@ -330,6 +379,25 @@ def ttm_inplace(
     y = _prepare_out(plan, out)
     ut = u.T  # view; used by the backward kernel form
 
+    tracer = active_tracer()
+    if tracer.enabled:
+        with tracer.span(
+            "execute",
+            executor="interpreted",
+            shape=list(plan.shape),
+            mode=plan.mode,
+            j=plan.j,
+            layout=plan.layout.name,
+            degree=plan.degree,
+            batch_modes=list(plan.batch_modes),
+            kernel=plan.kernel,
+            flops=plan.total_flops,
+        ):
+            if plan.batch_modes:
+                _execute_batched(x, u, ut, y, plan, accumulate)
+            else:
+                _execute_looped(x, u, ut, y, plan, accumulate)
+        return y
     if plan.batch_modes:
         _execute_batched(x, u, ut, y, plan, accumulate)
     else:

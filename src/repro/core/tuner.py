@@ -23,6 +23,7 @@ from repro.core.partition import (
     strategy_for,
 )
 from repro.core.plan import TtmPlan
+from repro.obs.tracer import active_tracer
 from repro.perf.flops import gflops_rate, ttm_flops
 from repro.perf.profiler import active_hot_counters
 from repro.perf.timing import time_callable
@@ -187,7 +188,21 @@ class ExhaustiveTuner:
             x.shape, mode, u.shape[0], x.layout, max_threads, kernels
         )
         out = DenseTensor.empty(plans[0].out_shape, x.layout)
-        seconds = [self.time_plan(plan, x, u, out) for plan in plans]
+        tracer = active_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "tuner-sweep",
+                shape=list(x.shape),
+                mode=mode,
+                j=int(u.shape[0]),
+                layout=x.layout.name,
+                candidates=len(plans),
+                executor=self.executor,
+            ) as span:
+                seconds = [self.time_plan(plan, x, u, out) for plan in plans]
+                span.set(best=plans[int(np.argmin(seconds))].describe())
+        else:
+            seconds = [self.time_plan(plan, x, u, out) for plan in plans]
         return TunerResult(
             plans=plans, seconds=seconds, flops=ttm_flops(x.shape, u.shape[0])
         )

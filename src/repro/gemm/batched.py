@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gemm.interface import blas_legal, gemm
+from repro.obs.tracer import active_tracer
 from repro.util.errors import ShapeError, StrideError
 
 
@@ -110,6 +111,29 @@ def gemm_batched(
     if accumulate and out is None:
         raise ShapeError("accumulate=True requires an out array")
 
+    tracer = active_tracer()
+    if tracer.enabled:
+        current = tracer.current_span()
+        # The interpreter wraps its dispatches in a gemm-kernel span
+        # already; only direct callers (generated code, library users)
+        # need one opened here.
+        if current is None or current.name != "gemm-kernel":
+            with tracer.span(
+                "gemm-kernel",
+                batch=batch,
+                m=m,
+                k=k,
+                n=n,
+                kernel=kernel,
+                accumulate=accumulate,
+            ):
+                return _gemm_batched_run(
+                    a, b, out, batch, m, n, accumulate, kernel, kwargs
+                )
+    return _gemm_batched_run(a, b, out, batch, m, n, accumulate, kernel, kwargs)
+
+
+def _gemm_batched_run(a, b, out, batch, m, n, accumulate, kernel, kwargs):
     legal = (
         batched_slices_blas_legal(a)
         and batched_slices_blas_legal(b)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.tracer import active_tracer
 from repro.util.errors import ShapeError
 
 
@@ -80,6 +81,34 @@ def gemm_blocked(
     elif out.shape != (m, n):
         raise ShapeError(f"out shape {out.shape} != {(m, n)}")
     blocks = block_sizes or DEFAULT_BLOCKS
+
+    tracer = active_tracer()
+    if tracer.enabled:
+        current = tracer.current_span()
+        # Callers routed through gemm()/gemm_batched() already opened a
+        # gemm-kernel span; direct callers (generated code) get one here.
+        if current is None or current.name != "gemm-kernel":
+            with tracer.span(
+                "gemm-kernel",
+                m=m,
+                k=k,
+                n=n,
+                kernel="blocked",
+                accumulate=accumulate,
+            ):
+                return _gemm_blocked_run(a, b, out, accumulate, blocks)
+    return _gemm_blocked_run(a, b, out, accumulate, blocks)
+
+
+def _gemm_blocked_run(
+    a: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray,
+    accumulate: bool,
+    blocks: BlockSizes,
+) -> np.ndarray:
+    m, k = a.shape
+    n = b.shape[1]
     mc, kc, nc = blocks.mc, blocks.kc, blocks.nc
 
     # Pre-allocated packing buffers, reused across all panels.

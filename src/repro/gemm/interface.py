@@ -13,6 +13,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.tracer import active_tracer
 from repro.util.errors import ShapeError, StrideError
 
 
@@ -130,4 +131,20 @@ def gemm(
         ``threads`` for ``threaded``).
     """
     impl = resolve_kernel(kernel)
+    tracer = active_tracer()
+    if tracer.enabled:
+        current = tracer.current_span()
+        # The interpreter wraps its dispatches in a gemm-kernel span
+        # already; only direct callers (generated code, library users)
+        # need one opened here.
+        if current is None or current.name != "gemm-kernel":
+            with tracer.span(
+                "gemm-kernel",
+                m=a.shape[0],
+                k=a.shape[1],
+                n=b.shape[1],
+                kernel=kernel,
+                accumulate=accumulate,
+            ):
+                return impl(a, b, out=out, accumulate=accumulate, **kwargs)
     return impl(a, b, out=out, accumulate=accumulate, **kwargs)

@@ -1,0 +1,60 @@
+"""``repro.obs`` — structured tracing and metrics for the TTM pipeline.
+
+The observability layer the decision stack reports to: nested spans
+(:class:`Tracer`, enabled per-block via :func:`tracing`), the shared
+:func:`snapshot` surface folding in the hot-path counters, exporters for
+JSON-lines and Chrome ``trace_event`` format, and the structural
+validator the fuzz suite asserts with.
+
+Quick use::
+
+    from repro.obs import tracing, render_span_tree, write_chrome_trace
+
+    with tracing() as tracer:
+        repro.ttm(x, u, mode=1)
+    spans = tracer.collector.spans()
+    print(render_span_tree(spans))
+    write_chrome_trace(spans, "trace.json")   # load in chrome://tracing
+
+Or from the shell: ``python -m repro trace ttm --chrome trace.json``.
+"""
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanCollector,
+    Tracer,
+    active_tracer,
+    snapshot,
+    tracing,
+)
+from repro.obs.export import (
+    render_span_tree,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.validate import (
+    assert_spans_well_nested,
+    check_spans_well_nested,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanCollector",
+    "Tracer",
+    "active_tracer",
+    "snapshot",
+    "tracing",
+    "render_span_tree",
+    "spans_to_chrome_trace",
+    "spans_to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "assert_spans_well_nested",
+    "check_spans_well_nested",
+]

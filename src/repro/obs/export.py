@@ -1,0 +1,148 @@
+"""Span exporters: JSON-lines, Chrome ``trace_event``, and a text tree.
+
+Three consumers, three formats:
+
+* **JSON-lines** (:func:`spans_to_jsonl`) — one span object per line,
+  the grep/jq-friendly form for log pipelines;
+* **Chrome trace** (:func:`spans_to_chrome_trace`) — the
+  ``trace_event`` JSON loadable in ``chrome://tracing`` and Perfetto
+  (complete ``"ph": "X"`` events with microsecond timestamps, one
+  track per thread);
+* **span tree** (:func:`render_span_tree`) — the ``explain``-style
+  terminal rendering the ``repro trace`` CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Iterable, Sequence
+
+from repro.obs.tracer import Span
+
+
+def _as_span_dict(span: Span | dict) -> dict:
+    return span.to_dict() if isinstance(span, Span) else dict(span)
+
+
+def spans_to_jsonl(spans: Iterable[Span | dict]) -> str:
+    """One compact JSON object per line (trailing newline included)."""
+    lines = [
+        json.dumps(_as_span_dict(span), sort_keys=True) for span in spans
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(spans: Iterable[Span | dict], file: str | IO[str]) -> None:
+    """Write :func:`spans_to_jsonl` output to a path or open text file."""
+    text = spans_to_jsonl(spans)
+    if isinstance(file, str):
+        with open(file, "w") as fh:
+            fh.write(text)
+    else:
+        file.write(text)
+
+
+def spans_to_chrome_trace(
+    spans: Iterable[Span | dict], pid: int | None = None
+) -> dict:
+    """The ``trace_event`` payload for ``chrome://tracing`` / Perfetto.
+
+    Every span becomes a complete event (``"ph": "X"``): ``ts``/``dur``
+    in microseconds, ``tid`` from the recording thread so parallel loop
+    bodies land on their own tracks, and the span attributes under
+    ``args`` where the trace viewer shows them on click.
+    """
+    if pid is None:
+        pid = os.getpid()
+    events = []
+    for span in spans:
+        payload = _as_span_dict(span)
+        end = payload["end"]
+        duration = 0.0 if end is None else end - payload["start"]
+        args = dict(payload["attrs"])
+        args["span_id"] = payload["span_id"]
+        if payload["parent_id"] is not None:
+            args["parent_id"] = payload["parent_id"]
+        events.append(
+            {
+                "name": payload["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": payload["start"] * 1e6,
+                "dur": max(duration, 0.0) * 1e6,
+                "pid": pid,
+                "tid": payload["thread_id"],
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    spans: Iterable[Span | dict], file: str | IO[str]
+) -> None:
+    """Write :func:`spans_to_chrome_trace` output as JSON."""
+    payload = spans_to_chrome_trace(spans)
+    if isinstance(file, str):
+        with open(file, "w") as fh:
+            json.dump(payload, fh, indent=2)
+    else:
+        json.dump(payload, file, indent=2)
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _format_attrs(attrs: dict) -> str:
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def render_span_tree(spans: Sequence[Span | dict]) -> str:
+    """An indented text rendering of the span forest, roots first.
+
+    Children sort by start time under their parent; spans whose parent
+    never finished (or was recorded by another tracer) render as roots,
+    so a partial collection still prints everything it has.
+    """
+    payloads = [_as_span_dict(span) for span in spans]
+    by_id = {p["span_id"]: p for p in payloads}
+    children: dict[int | None, list[dict]] = {}
+    for payload in payloads:
+        parent = payload["parent_id"]
+        if parent is not None and parent not in by_id:
+            parent = None  # orphaned by partial collection: promote to root
+        children.setdefault(parent, []).append(payload)
+    for siblings in children.values():
+        siblings.sort(key=lambda p: p["start"])
+
+    lines: list[str] = []
+
+    def walk(payload: dict, depth: int) -> None:
+        attrs = _format_attrs(payload["attrs"])
+        duration = _format_duration(
+            0.0
+            if payload["end"] is None
+            else payload["end"] - payload["start"]
+        )
+        indent = "  " * depth
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(f"{indent}{payload['name']}  {duration}{suffix}")
+        for child in children.get(payload["span_id"], ()):
+            walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Span-tree structural validation: the property the fuzz tests assert.
+
+A correct tracer emits a *forest*: on every thread the open/close order
+is stack-disciplined (no partial overlap), every ``parent_id`` resolves
+to a recorded span, and a child's interval sits inside its parent's.
+:func:`check_spans_well_nested` returns every violation it finds (empty
+list = clean) so test failures name all problems at once;
+:func:`assert_spans_well_nested` is the raising form.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.tracer import Span
+
+#: Slack (seconds) allowed on parent/child interval containment —
+#: ``perf_counter`` calls on either side of a ``finally`` are not
+#: perfectly ordered observations of the same instant.
+_EPSILON = 1e-9
+
+
+def check_spans_well_nested(spans: Sequence[Span | dict]) -> list[str]:
+    """Every structural violation in a finished span collection."""
+    payloads = [
+        span.to_dict() if isinstance(span, Span) else dict(span)
+        for span in spans
+    ]
+    problems: list[str] = []
+    by_id: dict[int, dict] = {}
+    for payload in payloads:
+        span_id = payload["span_id"]
+        if span_id in by_id:
+            problems.append(f"duplicate span_id {span_id}")
+        by_id[span_id] = payload
+        if payload["end"] is None:
+            problems.append(
+                f"span {span_id} ({payload['name']!r}) was never closed"
+            )
+
+    for payload in payloads:
+        parent_id = payload["parent_id"]
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            problems.append(
+                f"span {payload['span_id']} ({payload['name']!r}) has "
+                f"unknown parent {parent_id} (orphan)"
+            )
+            continue
+        if parent["end"] is None or payload["end"] is None:
+            continue  # already reported as unclosed
+        if (
+            payload["start"] < parent["start"] - _EPSILON
+            or payload["end"] > parent["end"] + _EPSILON
+        ):
+            problems.append(
+                f"span {payload['span_id']} ({payload['name']!r}) "
+                f"[{payload['start']:.9f}, {payload['end']:.9f}] escapes "
+                f"parent {parent_id} ({parent['name']!r}) "
+                f"[{parent['start']:.9f}, {parent['end']:.9f}]"
+            )
+
+    # Per-thread stack discipline: siblings on one thread either nest or
+    # are disjoint — partial overlap means the tracer's stack broke.
+    by_thread: dict[int, list[dict]] = {}
+    for payload in payloads:
+        if payload["end"] is not None:
+            by_thread.setdefault(payload["thread_id"], []).append(payload)
+    for thread_id, thread_spans in by_thread.items():
+        thread_spans.sort(key=lambda p: (p["start"], -(p["end"] or 0.0)))
+        stack: list[dict] = []
+        for payload in thread_spans:
+            while stack and stack[-1]["end"] <= payload["start"] + _EPSILON:
+                stack.pop()
+            if stack and payload["end"] > stack[-1]["end"] + _EPSILON:
+                problems.append(
+                    f"thread {thread_id}: span {payload['span_id']} "
+                    f"({payload['name']!r}) partially overlaps span "
+                    f"{stack[-1]['span_id']} ({stack[-1]['name']!r})"
+                )
+            stack.append(payload)
+    return problems
+
+
+def assert_spans_well_nested(spans: Sequence[Span | dict]) -> int:
+    """Raise AssertionError listing *all* violations; returns span count."""
+    problems = check_spans_well_nested(spans)
+    if problems:
+        detail = "\n  ".join(problems)
+        raise AssertionError(
+            f"{len(problems)} span-nesting violation(s):\n  {detail}"
+        )
+    return len(list(spans))

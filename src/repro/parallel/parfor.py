@@ -27,6 +27,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
+from repro.obs.tracer import active_tracer
 from repro.util.validation import check_positive_int
 
 #: Upper bound on indices a worker pulls per trip to the shared iterator:
@@ -92,6 +93,24 @@ def parfor(
     total = math.prod(int(e) for e in extents) if extents else 1
     if total == 0:
         return 0
+    tracer = active_tracer()
+    if tracer.enabled:
+        with tracer.span(
+            "parfor-dispatch",
+            extents=[int(e) for e in extents],
+            iterations=total,
+            threads=min(threads, total),
+        ):
+            return _parfor_run(extents, body, threads, total)
+    return _parfor_run(extents, body, threads, total)
+
+
+def _parfor_run(
+    extents: Sequence[int],
+    body: Callable[[tuple[int, ...]], None],
+    threads: int,
+    total: int,
+) -> int:
     if threads == 1 or total == 1:
         for index in iter_index_space(extents):
             body(index)

@@ -191,6 +191,29 @@ class HotCounters:
         with self._lock:
             setattr(self, field_name, getattr(self, field_name) + n)
 
+    def as_dict(self) -> dict:
+        """A JSON-safe snapshot of every tally (plus the derived sums).
+
+        ``dataclasses.asdict`` would choke on the lock field; this is the
+        form :func:`repro.obs.snapshot` folds into its counter registry.
+        """
+        with self._lock:
+            return {
+                "gemm_calls": self.gemm_calls,
+                "batched_calls": self.batched_calls,
+                "batched_slices": self.batched_slices,
+                "max_batch": self.max_batch,
+                "view_seconds": self.view_seconds,
+                "estimator_runs": self.estimator_runs,
+                "tuner_sweeps": self.tuner_sweeps,
+                "plan_cache_hits": self.plan_cache_hits,
+                "plan_cache_misses": self.plan_cache_misses,
+                "plan_cache_promotions": self.plan_cache_promotions,
+                "plan_cache_invalidations": self.plan_cache_invalidations,
+                "dispatches": self.gemm_calls + self.batched_calls,
+                "total_slices": self.gemm_calls + self.batched_slices,
+            }
+
 
 _HOT_COUNTERS: HotCounters | None = None
 
@@ -198,6 +221,19 @@ _HOT_COUNTERS: HotCounters | None = None
 def active_hot_counters() -> HotCounters | None:
     """The counters currently collecting, or None (the common fast case)."""
     return _HOT_COUNTERS
+
+
+def install_hot_counters(counters: HotCounters | None) -> HotCounters | None:
+    """Make *counters* the active sink; returns the previous one.
+
+    The seam :func:`repro.obs.tracing` uses to fold counters and spans
+    into one registry — callers must restore the returned previous sink
+    (``track_hot_path`` remains the plain context-managed form).
+    """
+    global _HOT_COUNTERS
+    previous = _HOT_COUNTERS
+    _HOT_COUNTERS = counters
+    return previous
 
 
 @contextmanager

@@ -64,30 +64,43 @@ def assert_ttm_consistent(
     """Check *ttm_callable* against the reference on every case.
 
     The callable receives ``(DenseTensor, U, mode)`` and may return a
-    DenseTensor or a plain ndarray.  Raises ``AssertionError`` naming the
-    first failing case; returns the number of cases checked.
+    DenseTensor or a plain ndarray.  Every case runs even after a
+    failure; the AssertionError raised at the end enumerates *all*
+    failing geometries, so one CI run diagnoses the full blast radius of
+    a planner or executor regression.  Returns the number of cases
+    checked.
     """
     rng = default_rng(seed)
     checked = 0
+    failures: list[str] = []
     for layout in layouts:
         for shape, j, mode in cases:
             x = DenseTensor(rng.standard_normal(shape), layout)
             u = rng.standard_normal((j, shape[mode]))
-            got = ttm_callable(x, u, mode)
+            label = f"shape={shape} J={j} mode={mode} layout={layout.name}"
+            try:
+                got = ttm_callable(x, u, mode)
+            except Exception as exc:  # noqa: BLE001 - reported, not hidden
+                failures.append(f"{label}: raised {type(exc).__name__}: {exc}")
+                checked += 1
+                continue
             got_arr = np.asarray(
                 got.data if isinstance(got, DenseTensor) else got
             )
             expect = ttm_reference(x.data, u, mode)
             if got_arr.shape != expect.shape:
-                raise AssertionError(
-                    f"shape mismatch for shape={shape} mode={mode} "
-                    f"layout={layout.name}: {got_arr.shape} != {expect.shape}"
+                failures.append(
+                    f"{label}: shape mismatch "
+                    f"{got_arr.shape} != {expect.shape}"
                 )
-            if not np.allclose(got_arr, expect, rtol=rtol, atol=atol):
+            elif not np.allclose(got_arr, expect, rtol=rtol, atol=atol):
                 worst = float(np.max(np.abs(got_arr - expect)))
-                raise AssertionError(
-                    f"value mismatch for shape={shape} J={j} mode={mode} "
-                    f"layout={layout.name}: max abs error {worst:g}"
-                )
+                failures.append(f"{label}: value mismatch, max abs error {worst:g}")
             checked += 1
+    if failures:
+        detail = "\n  ".join(failures)
+        raise AssertionError(
+            f"{len(failures)} of {checked} TTM cases disagree with the "
+            f"equation-(1) reference:\n  {detail}"
+        )
     return checked

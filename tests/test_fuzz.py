@@ -7,16 +7,20 @@ module boundaries the unit tests exercise separately, hunting for
 interaction bugs (layout leaks, stale views, convention mismatches).
 """
 
+import dataclasses
+
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 import repro
-from repro.core.inttm import ttm_inplace
+from repro.core.inttm import default_plan, ttm_inplace
+from repro.obs import assert_spans_well_nested, tracing
 from repro.sparse import SparseTensor
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
 from repro.tensor.unfold import fold, unfold
+from repro.util.errors import PlanError
 from tests.helpers import ttm_oracle
 
 
@@ -100,6 +104,81 @@ def test_fuzz_sparse_dense_ttm_agree(shape, data):
     sparse_result = ttm_sparse(SparseTensor.from_dense(dense), u, mode)
     dense_result = ttm_inplace(DenseTensor(dense), u, mode)
     assert np.allclose(sparse_result.to_dense().data, dense_result.data)
+
+
+def _draw_batched_plan(shape, data):
+    """A random legal plan with a randomized degree and batch run.
+
+    Draws the degree from the plan space and then retargets the batch to
+    a random suffix of the loop modes; combinations the plan validator
+    rejects (non-consecutive or unstackable runs) are discarded via
+    ``assume`` so Hypothesis keeps exploring the legal space.
+    """
+    layout = data.draw(st.sampled_from([ROW_MAJOR, COL_MAJOR]))
+    mode = data.draw(st.integers(0, len(shape) - 1))
+    j = data.draw(st.integers(1, 5))
+    base = default_plan(shape, mode, j, layout, batched=True)
+    max_degree = max(base.degree, 1)
+    degree = data.draw(st.integers(1, max_degree)) if base.degree else None
+    plan = default_plan(shape, mode, j, layout, degree=degree, batched=True)
+    batch_len = data.draw(st.integers(0, len(plan.loop_modes)))
+    batch = tuple(sorted(plan.loop_modes[len(plan.loop_modes) - batch_len:]))
+    if batch != plan.batch_modes:
+        try:
+            plan = dataclasses.replace(plan, batch_modes=batch)
+        except PlanError:
+            assume(False)  # not a consecutive/stackable run: skip
+    return plan
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    shape=st.lists(st.integers(2, 5), min_size=2, max_size=4),
+    data=st.data(),
+)
+def test_fuzz_batched_plans_match_unbatched_and_oracle(shape, data):
+    """Random batched plans = the per-iteration interpreter = equation 1."""
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+    plan = _draw_batched_plan(shape, data)
+    x = DenseTensor(rng.standard_normal(shape), plan.layout)
+    u = rng.standard_normal((plan.j, shape[plan.mode]))
+
+    batched = ttm_inplace(x, u, plan=plan)
+    unbatched_plan = dataclasses.replace(plan, batch_modes=())
+    unbatched = ttm_inplace(x, u, plan=unbatched_plan)
+    expect = ttm_oracle(x.data, u, plan.mode)
+    tol = 1e-9 * max(1.0, float(np.abs(expect).max()))
+    assert np.allclose(batched.data, unbatched.data, atol=tol)
+    assert np.allclose(batched.data, expect, atol=tol)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=st.lists(st.integers(2, 4), min_size=2, max_size=4),
+    data=st.data(),
+)
+def test_fuzz_traced_execution_emits_well_nested_spans(shape, data):
+    """Any random plan, traced, yields a clean span tree (no orphans or
+    partial overlaps) containing the execute -> gemm-kernel chain."""
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+    plan = _draw_batched_plan(shape, data)
+    x = DenseTensor(rng.standard_normal(shape), plan.layout)
+    u = rng.standard_normal((plan.j, shape[plan.mode]))
+    threads = data.draw(st.sampled_from([1, 2]))
+    plan = dataclasses.replace(plan, loop_threads=threads)
+
+    with tracing() as tracer:
+        y = ttm_inplace(x, u, plan=plan)
+    assert y.shape == plan.out_shape
+    spans = tracer.collector.spans()
+    assert_spans_well_nested(spans)
+    names = {s.name for s in spans}
+    assert "execute" in names
+    assert "gemm-kernel" in names
+    # Nothing may leak outside the tracing block.
+    from repro.obs import active_tracer, NULL_TRACER
+
+    assert active_tracer() is NULL_TRACER
 
 
 @settings(max_examples=25, deadline=None)

@@ -1,0 +1,165 @@
+"""Golden-plan regression tests: the planner's decisions, pinned.
+
+The estimator is the part of this system most likely to regress
+*silently* — a wrong degree or thread split still computes the right
+numbers, just slower.  These tests serialize the full decision tuple
+(strategy, degree |M_C|, loop order, batch modes, P_L/P_C split,
+kernel) for every geometry in :data:`repro.testing.DEFAULT_CASES` x
+both layouts x two thread budgets into committed JSON fixtures under
+``tests/golden/``, and fail with a field-level diff when any decision
+changes.
+
+When a planner change is *intentional*, regenerate with::
+
+    python -m pytest tests/test_golden_plans.py --regen-golden
+
+and commit the updated fixtures — the diff in review then documents
+exactly which inputs changed plans.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import InTensLi
+from repro.testing import DEFAULT_CASES
+from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Thread budgets pinned by fixtures: serial, and a budget that forces
+#: the PTH rule to actually split P_L/P_C.
+THREAD_BUDGETS = (1, 4)
+
+#: The decision fields a fixture pins (everything the tuner chooses).
+DECISION_FIELDS = (
+    "strategy",
+    "degree",
+    "component_modes",
+    "loop_modes",
+    "batch_modes",
+    "loop_threads",
+    "kernel_threads",
+    "kernel",
+)
+
+
+def golden_path(threads: int) -> Path:
+    return GOLDEN_DIR / f"plans_t{threads}.json"
+
+
+def decision_key(shape, mode, j, layout, threads) -> str:
+    dims = "x".join(str(s) for s in shape)
+    return f"{dims}|m{mode}|J{j}|{layout.name}|T{threads}"
+
+
+def plan_decision(plan) -> dict:
+    return {
+        "strategy": plan.strategy.value,
+        "degree": plan.degree,
+        "component_modes": list(plan.component_modes),
+        "loop_modes": list(plan.loop_modes),
+        "batch_modes": list(plan.batch_modes),
+        "loop_threads": plan.loop_threads,
+        "kernel_threads": plan.kernel_threads,
+        "kernel": plan.kernel,
+    }
+
+
+def compute_decisions(threads: int) -> dict[str, dict]:
+    """What the planner decides today for the whole golden grid.
+
+    Deterministic: the synthetic (roofline-model) GEMM profile and the
+    platform preset involve no measurement, so the same geometry always
+    maps to the same plan on every host.
+    """
+    lib = InTensLi(max_threads=threads)
+    decisions: dict[str, dict] = {}
+    for layout in (ROW_MAJOR, COL_MAJOR):
+        for shape, j, mode in DEFAULT_CASES:
+            plan = lib.plan(shape, mode, j, layout)
+            key = decision_key(shape, mode, j, layout, threads)
+            decisions[key] = plan_decision(plan)
+    return decisions
+
+
+@pytest.mark.parametrize("threads", THREAD_BUDGETS)
+def test_golden_plans_match_fixture(threads, request):
+    decisions = compute_decisions(threads)
+    path = golden_path(threads)
+    if request.config.getoption("--regen-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(
+            json.dumps(decisions, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"golden fixture {path} is missing; generate it with "
+        f"`python -m pytest {__file__} --regen-golden` and commit it"
+    )
+    golden = json.loads(path.read_text())
+
+    diffs: list[str] = []
+    for key in sorted(set(golden) | set(decisions)):
+        if key not in decisions:
+            diffs.append(f"{key}: in fixture but no longer planned")
+            continue
+        if key not in golden:
+            diffs.append(f"{key}: planned but missing from fixture")
+            continue
+        for field in DECISION_FIELDS:
+            want, got = golden[key].get(field), decisions[key][field]
+            if want != got:
+                diffs.append(f"{key}: {field} changed {want!r} -> {got!r}")
+    if diffs:
+        detail = "\n  ".join(diffs)
+        pytest.fail(
+            f"{len(diffs)} planner decision(s) drifted from "
+            f"{path.name}:\n  {detail}\n"
+            "If this change is intentional, regenerate the fixtures with "
+            "`python -m pytest tests/test_golden_plans.py --regen-golden` "
+            "and commit the diff."
+        )
+
+
+@pytest.mark.parametrize("threads", THREAD_BUDGETS)
+def test_golden_fixture_covers_every_geometry(threads, request):
+    """Each fixture has exactly one entry per DEFAULT_CASES x layout."""
+    if request.config.getoption("--regen-golden"):
+        pytest.skip("fixtures are being regenerated")
+    path = golden_path(threads)
+    assert path.exists(), f"golden fixture {path} is missing"
+    golden = json.loads(path.read_text())
+    expected = {
+        decision_key(shape, mode, j, layout, threads)
+        for layout in (ROW_MAJOR, COL_MAJOR)
+        for shape, j, mode in DEFAULT_CASES
+    }
+    assert set(golden) == expected
+    for key, decision in golden.items():
+        missing = [f for f in DECISION_FIELDS if f not in decision]
+        assert not missing, f"{key} lacks fields {missing}"
+
+
+def test_golden_plans_are_executable():
+    """Every pinned decision still constructs a valid, runnable plan."""
+    import numpy as np
+
+    from repro.tensor.dense import DenseTensor
+
+    lib = InTensLi(max_threads=1)
+    rng = np.random.default_rng(0)
+    # One representative geometry per order is enough to smoke-execute.
+    seen_orders: set[int] = set()
+    for shape, j, mode in DEFAULT_CASES:
+        if len(shape) in seen_orders:
+            continue
+        seen_orders.add(len(shape))
+        x = DenseTensor(rng.standard_normal(shape), ROW_MAJOR)
+        u = rng.standard_normal((j, shape[mode]))
+        plan = lib.plan(shape, mode, j, ROW_MAJOR)
+        y = lib.execute(plan, x, u)
+        assert y.shape == plan.out_shape
