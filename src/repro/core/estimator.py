@@ -168,7 +168,9 @@ class ParameterEstimator:
         alloc = allocate_threads(
             kernel_bytes,
             self.max_threads,
-            loop_iterations=loop_iters,
+            # Zero-extent tensors have zero iterations; plan the (empty)
+            # nest as if it ran once so the thread split stays valid.
+            loop_iterations=max(1, loop_iters),
             pth_bytes=self.pth_bytes,
         )
         plan = TtmPlan(
@@ -189,7 +191,13 @@ class ParameterEstimator:
             # kernel.  (Natural and fallback strategies are always legal;
             # this triggers only for exotic explicit configurations.)
             plan = dataclasses.replace(plan, kernel="blocked")
-        if self.refine_with_model and self.profile is not None:
+        if (
+            self.refine_with_model
+            and self.profile is not None
+            and plan.total_flops > 0
+        ):
+            # Zero-extent inputs do no work; every degree predicts zero
+            # seconds, so there is nothing for the model to rank.
             plan = self._refine(plan)
         return plan
 
@@ -246,7 +254,9 @@ class ParameterEstimator:
             alloc = allocate_threads(
                 kernel_bytes,
                 self.max_threads,
-                loop_iterations=loop_iters,
+                # Zero-extent tensors have zero iterations; plan the (empty)
+            # nest as if it ran once so the thread split stays valid.
+            loop_iterations=max(1, loop_iters),
                 pth_bytes=self.pth_bytes,
             )
             candidate = dataclasses.replace(

@@ -50,6 +50,10 @@ def predict_gflops(
 ) -> float:
     """Predicted end-to-end GFLOP/s of *plan*."""
     seconds = predict_seconds(plan, profile, loop_overhead)
+    if seconds <= 0.0:
+        # Degenerate (zero-flop) plans predict zero time; their rate is
+        # meaningless, so report zero rather than dividing by it.
+        return 0.0
     return plan.total_flops / seconds / 1e9
 
 

@@ -38,6 +38,8 @@ def batched_slices_blas_legal(array: np.ndarray) -> bool:
         return blas_legal(array)
     if array.ndim != 3:
         return False
+    if array.shape[0] == 0:
+        return True  # empty batch: no slice is ever dispatched
     return blas_legal(array[0])
 
 
@@ -100,8 +102,10 @@ def gemm_batched(
     a = _normalize("a", a)
     b = _normalize("b", b)
     batch = _batch_of(a, b)
-    m, k = _slice(a, 0).shape
-    k2, n = _slice(b, 0).shape
+    # Slice geometry from the shapes, not from slice 0: a batch of zero
+    # slices is legal (zero-extent TTM inputs) and has nothing to index.
+    m, k = a.shape[-2:]
+    k2, n = b.shape[-2:]
     if k != k2:
         raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
     if out is not None:

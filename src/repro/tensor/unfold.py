@@ -54,7 +54,10 @@ def unfold(tensor: DenseTensor, mode: int) -> np.ndarray:
     """
     mode = check_mode(mode, tensor.order)
     perm = unfold_permutation(tensor.order, mode)
-    rest = math.prod(tensor.shape) // tensor.shape[mode] if tensor.size else 0
+    # The column count is the product of the *other* extents — computed
+    # directly, not by division, so zero-extent modes keep the correct
+    # (possibly nonzero) column count.
+    rest = math.prod(s for i, s in enumerate(tensor.shape) if i != mode)
     np_order = tensor.layout.numpy_order
     moved = np.transpose(tensor.data, perm)
     flat = np.array(moved, order=np_order, copy=True)
@@ -75,7 +78,7 @@ def fold(
     layout = Layout.parse(layout)
     shape_t = tuple(int(s) for s in shape)
     mode = check_mode(mode, len(shape_t))
-    rest = math.prod(shape_t) // shape_t[mode] if math.prod(shape_t) else 0
+    rest = math.prod(s for i, s in enumerate(shape_t) if i != mode)
     mat = np.asarray(matrix)
     if mat.shape != (shape_t[mode], rest):
         raise LayoutError(

@@ -50,6 +50,11 @@ def merged_stride(
             f"modes {run_t} are not consecutive; merging them without a "
             "copy is impossible (Lemma 4.1)"
         )
+    if any(shape[m] == 0 for m in run_t):
+        # The merged dimension has zero extent: the view addresses no
+        # memory, so any stride is valid (zero-extent modes also report
+        # stride 0, which would spuriously fail the nesting check).
+        return 1
     effective = [m for m in run_t if shape[m] != 1]
     if not effective:
         return 1
@@ -99,9 +104,14 @@ def _strided_2d(
     view so ``as_strided`` can never expose out-of-bounds memory.
     """
     itemsize = data.itemsize
-    span = offset
-    if rows > 0 and cols > 0:
-        span = offset + (rows - 1) * row_stride + (cols - 1) * col_stride
+    if rows == 0 or cols == 0:
+        # An empty view touches no memory: any geometry is in bounds
+        # (zero-extent tensors must still produce correctly shaped,
+        # correctly typed empty views instead of raising).
+        if offset < 0:
+            raise ShapeError(f"view offset {offset} is negative")
+        return np.empty((rows, cols), dtype=data.dtype)
+    span = offset + (rows - 1) * row_stride + (cols - 1) * col_stride
     if offset < 0 or span >= data.size:
         raise ShapeError(
             f"view geometry out of bounds: offset={offset}, rows={rows}, "
@@ -179,9 +189,13 @@ def _strided_3d(
 ) -> np.ndarray:
     """A writable 3-D view at *offset* elements into *data*'s base."""
     itemsize = data.itemsize
-    span = offset
-    if all(e > 0 for e in extents):
-        span = offset + sum((e - 1) * s for e, s in zip(extents, strides))
+    if any(e == 0 for e in extents):
+        # Empty batch/matrix dimension: no memory is addressed, so the
+        # bounds check is vacuous (zero-extent executor support).
+        if offset < 0:
+            raise ShapeError(f"view offset {offset} is negative")
+        return np.empty(extents, dtype=data.dtype)
+    span = offset + sum((e - 1) * s for e, s in zip(extents, strides))
     if offset < 0 or span >= data.size:
         raise ShapeError(
             f"view geometry out of bounds: offset={offset}, "
