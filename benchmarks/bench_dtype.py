@@ -1,0 +1,139 @@
+"""Multi-dtype TTM: float32 vs. float64 end to end, no silent upcast.
+
+The dtype-faithful kernel layer exists for one measurable promise: a
+float32 TTM runs float32 arithmetic on float32 storage — half the bytes
+through the memory hierarchy and the faster sgemm — instead of paying a
+hidden upcast-and-copy to float64.  This benchmark times the same
+geometry per element type through the default (generated) executor and
+reports the float32-over-float64 speedup; it also validates the
+contract directly (output dtype equals input dtype, float16 routes to
+the blocked kernel without error).
+
+Run as a script for the full table, or under pytest for a smoke check:
+``python benchmarks/bench_dtype.py [--quick]``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import (
+    matrix_for,
+    print_header,
+    print_series,
+    run_main,
+    time_ttm,
+)
+from repro.core.inttm import default_plan, ttm_inplace
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import ROW_MAJOR
+
+#: (shape, mode, J) — kernel-bound geometries where the sgemm/dgemm and
+#: bandwidth gap shows; float16 is excluded from timing (its blocked
+#: fallback measures Python loop overhead, not the dtype layer).
+CASES = [
+    ((96, 96, 96), 1, 16),
+    ((48, 48, 48, 8), 1, 16),
+    ((160, 160, 40), 0, 16),
+]
+
+QUICK_CASES = [
+    ((32, 32, 32), 1, 8),
+    ((16, 16, 16, 8), 1, 8),
+]
+
+TIMED_DTYPES = ("float64", "float32")
+
+
+def measure_case(shape, mode, j, min_seconds=0.05):
+    """One row: GFLOP/s per timed dtype plus the float32 speedup."""
+    row = {"shape": "x".join(str(s) for s in shape), "mode": mode, "j": j}
+    seconds = {}
+    for dtype in TIMED_DTYPES:
+        x = DenseTensor.random(shape, ROW_MAJOR, seed=sum(shape),
+                               dtype=dtype)
+        u = matrix_for(shape, mode, j=j).astype(dtype)
+        plan = default_plan(shape, mode, j, ROW_MAJOR, dtype=dtype)
+        out = DenseTensor.empty(plan.out_shape, ROW_MAJOR, dtype=dtype)
+        y = ttm_inplace(x, u, plan=plan, out=out)  # warm + validate
+        assert y.dtype == np.dtype(dtype), (
+            f"dtype leak: {dtype} input produced {y.dtype} output"
+        )
+        secs, rate = time_ttm(
+            lambda: ttm_inplace(x, u, plan=plan, out=out), shape, j,
+            min_seconds=min_seconds,
+        )
+        seconds[dtype] = secs
+        row[f"gflops_{dtype}"] = rate
+    row["speedup"] = (
+        seconds["float64"] / seconds["float32"]
+        if seconds["float32"] > 0 else float("inf")
+    )
+    return row
+
+
+def sweep(cases, min_seconds=0.05):
+    return [measure_case(*case, min_seconds=min_seconds) for case in cases]
+
+
+def report(rows, title):
+    print_series(
+        ["shape", "mode", "J", "GF/s f64", "GF/s f32", "speedup"],
+        [
+            (
+                r["shape"], r["mode"], r["j"],
+                f"{r['gflops_float64']:.2f}", f"{r['gflops_float32']:.2f}",
+                f"{r['speedup']:.2f}x",
+            )
+            for r in rows
+        ],
+        export_name=title,
+    )
+
+
+# -- pytest targets ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case", QUICK_CASES)
+def test_dtype_smoke(case):
+    """Tiny-shape smoke: both timed dtypes run and preserve their type."""
+    row = measure_case(*case, min_seconds=0.01)
+    assert row["gflops_float64"] > 0
+    assert row["gflops_float32"] > 0
+
+
+def test_float16_fallback_executes():
+    """float16 has no BLAS kernel; the blocked fallback must still run."""
+    shape, mode, j = (8, 8, 8), 1, 4
+    x = DenseTensor.random(shape, ROW_MAJOR, seed=0, dtype="float16")
+    u = matrix_for(shape, mode, j=j).astype("float16")
+    plan = default_plan(shape, mode, j, ROW_MAJOR, dtype="float16")
+    y = ttm_inplace(x, u, plan=plan)
+    assert y.dtype == np.float16
+    assert plan.kernel != "blas" or not plan.views_blas_legal
+
+
+# -- script entry --------------------------------------------------------------
+
+
+def main() -> int:
+    quick = "--quick" in sys.argv
+    print_header("Multi-dtype TTM: float32 vs. float64 (no silent upcast)")
+    if quick:
+        print("[quick] tiny smoke shapes only\n")
+        report(sweep(QUICK_CASES, min_seconds=0.02), "dtype_quick")
+        return 0
+    print("Kernel-bound geometries, generated executor:\n")
+    report(sweep(CASES), "dtype_full")
+    return 0
+
+
+if __name__ == "__main__":
+    run_main(main)

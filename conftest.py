@@ -13,6 +13,9 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 
+import pytest  # noqa: E402 - after the sys.path shim
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--regen-golden",
@@ -21,3 +24,14 @@ def pytest_addoption(parser):
         help="rewrite the golden-plan fixtures under tests/golden/ from "
         "the current planner decisions instead of diffing against them",
     )
+
+
+@pytest.fixture
+def ttm_dtype():
+    """Element type for the dtype-parametrizable equivalence suites.
+
+    Defaults to float64 (the paper's setting); CI's float32 matrix leg
+    sets ``REPRO_TEST_DTYPE=float32`` so the same assertions run in
+    single precision without duplicating the tests.
+    """
+    return os.environ.get("REPRO_TEST_DTYPE", "float64")

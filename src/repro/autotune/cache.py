@@ -34,7 +34,8 @@ from repro.core.plan import TtmPlan
 from repro.core.serialize import plan_from_dict, plan_to_dict
 from repro.perf.profiler import active_hot_counters
 from repro.tensor.layout import Layout
-from repro.util.errors import CacheError, PlanError
+from repro.util.dtypes import canonical_dtype
+from repro.util.errors import CacheError, DtypeError, PlanError
 
 log = logging.getLogger("repro.autotune")
 
@@ -47,13 +48,19 @@ def plan_digest(plan: TtmPlan) -> str:
 
 @dataclass(frozen=True)
 class PlanKey:
-    """The dispatch signature an autotuned decision is valid for."""
+    """The dispatch signature an autotuned decision is valid for.
+
+    The dtype is part of the signature: a float32 plan and a float64
+    plan for the same geometry make different threshold (and kernel)
+    decisions and must never resolve to each other.
+    """
 
     shape: tuple[int, ...]
     mode: int
     j: int
     layout: Layout
     threads: int
+    dtype: str = "float64"
 
     @classmethod
     def make(
@@ -63,6 +70,7 @@ class PlanKey:
         j: int,
         layout: Layout | str,
         threads: int,
+        dtype: str = "float64",
     ) -> "PlanKey":
         return cls(
             shape=tuple(int(s) for s in shape),
@@ -70,25 +78,31 @@ class PlanKey:
             j=int(j),
             layout=Layout.parse(layout),
             threads=int(threads),
+            dtype=canonical_dtype(dtype).name,
         )
 
     def encode(self) -> str:
-        """The JSON-object key form, e.g. ``20x20x20|m1|J16|ROW_MAJOR|T4``."""
+        """The JSON-object key form, e.g.
+        ``20x20x20|m1|J16|ROW_MAJOR|T4|float64``."""
         dims = "x".join(str(s) for s in self.shape)
-        return f"{dims}|m{self.mode}|J{self.j}|{self.layout.name}|T{self.threads}"
+        return (
+            f"{dims}|m{self.mode}|J{self.j}|{self.layout.name}"
+            f"|T{self.threads}|{self.dtype}"
+        )
 
     @classmethod
     def decode(cls, text: str) -> "PlanKey":
         try:
-            dims, mode, j, layout, threads = text.split("|")
+            dims, mode, j, layout, threads, dtype = text.split("|")
             return cls(
                 shape=tuple(int(s) for s in dims.split("x")),
                 mode=int(mode.removeprefix("m")),
                 j=int(j.removeprefix("J")),
                 layout=Layout[layout],
                 threads=int(threads.removeprefix("T")),
+                dtype=canonical_dtype(dtype).name,
             )
-        except (ValueError, KeyError) as exc:
+        except (ValueError, KeyError, DtypeError) as exc:
             raise PlanError(f"malformed plan-cache key {text!r}") from exc
 
 
@@ -301,9 +315,10 @@ class PlanCache:
         j: int,
         layout: Layout | str,
         threads: int,
+        dtype: str = "float64",
     ) -> TtmPlan | None:
         """Duck-typed lookup used by ``InTensLi.attach_plan_cache``."""
-        entry = self.get(PlanKey.make(shape, mode, j, layout, threads))
+        entry = self.get(PlanKey.make(shape, mode, j, layout, threads, dtype))
         return entry.plan if entry is not None else None
 
     def put_plan(
@@ -315,5 +330,8 @@ class PlanCache:
         threads: int,
         plan: TtmPlan,
         source: str = "estimator",
+        dtype: str = "float64",
     ) -> None:
-        self.put(PlanKey.make(shape, mode, j, layout, threads), plan, source)
+        self.put(
+            PlanKey.make(shape, mode, j, layout, threads, dtype), plan, source
+        )

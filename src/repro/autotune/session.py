@@ -32,7 +32,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.autotune.cache import CacheEntry, PlanCache, PlanKey, plan_digest
-from repro.core.intensli import InTensLi
+from repro.core.intensli import InTensLi, _match_u_dtype
 from repro.core.plan import TtmPlan
 from repro.core.tuner import ExhaustiveTuner, enumerate_plans
 from repro.obs.tracer import active_tracer
@@ -105,8 +105,11 @@ class AutotuneSession:
         mode: int,
         j: int,
         layout: Layout | str = Layout.ROW_MAJOR,
+        dtype: str = "float64",
     ) -> PlanKey:
-        return PlanKey.make(shape, mode, j, layout, self.lib.max_threads)
+        return PlanKey.make(
+            shape, mode, j, layout, self.lib.max_threads, dtype
+        )
 
     def plan(
         self,
@@ -114,9 +117,10 @@ class AutotuneSession:
         mode: int,
         j: int,
         layout: Layout | str = Layout.ROW_MAJOR,
+        dtype=None,
     ) -> TtmPlan:
         """The cached (or freshly estimated, then cached) plan."""
-        return self.lib.plan(shape, mode, j, layout)
+        return self.lib.plan(shape, mode, j, layout, dtype=dtype)
 
     def warm(self, signatures: Sequence[tuple]) -> int:
         """Pre-plan a batch of ``(shape, mode, j[, layout])`` signatures.
@@ -157,13 +161,14 @@ class AutotuneSession:
         """``Y = X x_mode U`` through the cache (and refinement, if on)."""
         if not isinstance(x, DenseTensor):
             x = DenseTensor(np.asarray(x))
-        u = np.asarray(u, dtype=np.float64)
+        u = _match_u_dtype(u, x.data.dtype)
         if u.ndim != 2:
             raise ShapeError(f"U must be 2-D, got {u.ndim}-D")
         if transpose_u:
             u = u.T
-        key = self.key_for(x.shape, mode, u.shape[0], x.layout)
-        plan = self.plan(x.shape, mode, u.shape[0], x.layout)
+        dtype = x.data.dtype.name
+        key = self.key_for(x.shape, mode, u.shape[0], x.layout, dtype)
+        plan = self.plan(x.shape, mode, u.shape[0], x.layout, dtype=dtype)
         if self.refine:
             plan = self._refine_step(key, plan, x, u)
         return self.lib.execute(plan, x, u, out=out)
@@ -222,6 +227,7 @@ class AutotuneSession:
             key.layout,
             max_threads=key.threads,
             kernels=self.kernels,
+            dtype=key.dtype,
         )
         fresh = [
             c for c in candidates if plan_digest(c) not in entry.trials

@@ -54,6 +54,7 @@ _BENCHES = {
     "ablation-degree": "bench_ablation_degree",
     "ablation-kernels": "bench_ablation_kernels",
     "ablation-threads": "bench_ablation_threads",
+    "dtype": "bench_dtype",
 }
 
 

@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.plan import Strategy, TtmPlan
 from repro.gemm.batched import gemm_batched
 from repro.gemm.blocked import gemm_blocked
-from repro.gemm.interface import gemm
+from repro.gemm.interface import blas_dtype_legal, gemm
 from repro.gemm.threaded import gemm_threaded
 from repro.parallel.parfor import parfor
 from repro.tensor.layout import Layout, element_strides
@@ -50,10 +50,12 @@ def _kernel_call(plan: TtmPlan) -> str:
             f"gemm_threaded({{a}}, {{b}}, out={{c}}, "
             f"threads={plan.kernel_threads}, kernel={inner!r})"
         )
-    if plan.kernel == "blas":
+    if plan.kernel == "blas" and blas_dtype_legal(plan.np_dtype):
         # Fast path: call BLAS directly, skipping dispatch overhead.
         return "np.matmul({a}, {b}, out={c})"
-    if plan.kernel == "blocked":
+    if plan.kernel in ("blas", "blocked"):
+        # Element types BLAS does not expose (float16) take the blocked
+        # kernel — the same capability fallback resolve_kernel applies.
         return "gemm_blocked({a}, {b}, out={c})"
     return f"gemm({{a}}, {{b}}, out={{c}}, kernel={plan.kernel!r})"
 
@@ -72,6 +74,8 @@ def _batched_form(plan: TtmPlan) -> str | None:
     if plan.loop_threads > 1 or plan.kernel_threads > 1:
         return None
     if plan.kernel not in ("blas", "auto"):
+        return None
+    if not blas_dtype_legal(plan.np_dtype):
         return None
     if plan.degree == 0:
         return None
@@ -161,13 +165,21 @@ def _batch_view_exprs(plan: TtmPlan) -> tuple[str, str, str, str]:
         effective = [m for m in run if shape[m] != 1]
         return min(strides[m] for m in effective) if effective else 1
 
+    itemsize = plan.itemsize
+
     def views(strides, shape, row_extent):
         bs = run_stride(strides, shape, batch)
         rs = strides[plan.mode]
         cs = run_stride(strides, shape, comp)
         if forward:
-            return (b, row_extent, p), (bs * 8, rs * 8, cs * 8)
-        return (b, p, row_extent), (bs * 8, cs * 8, rs * 8)
+            return (
+                (b, row_extent, p),
+                (bs * itemsize, rs * itemsize, cs * itemsize),
+            )
+        return (
+            (b, p, row_extent),
+            (bs * itemsize, cs * itemsize, rs * itemsize),
+        )
 
     x_extents, x_bstrides = views(x_strides, plan.shape, i_n)
     y_extents, y_bstrides = views(y_strides, plan.out_shape, j)
@@ -195,6 +207,8 @@ def _generic_batched_source(plan: TtmPlan) -> list[str] | None:
     if not plan.batch_modes:
         return None
     if plan.kernel_threads > 1 or plan.kernel not in ("blas", "auto"):
+        return None
+    if not blas_dtype_legal(plan.np_dtype):
         return None
     forward = plan.strategy is Strategy.FORWARD or plan.degree == 0
     x3_t, y3_t, x_off, y_off = _batch_view_exprs(plan)

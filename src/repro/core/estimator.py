@@ -35,9 +35,11 @@ from repro.core.partition import (
 from repro.core.plan import TtmPlan
 from repro.core.threads import DEFAULT_PTH_BYTES, allocate_threads
 from repro.gemm.bench import GemmProfile
+from repro.gemm.interface import kernel_supports
 from repro.obs.tracer import active_tracer
 from repro.perf.profiler import active_hot_counters
 from repro.tensor.layout import Layout
+from repro.util.dtypes import DEFAULT_DTYPE, canonical_dtype
 from repro.util.validation import check_mode, check_positive_int
 
 
@@ -109,8 +111,16 @@ class ParameterEstimator:
         mode: int,
         j: int,
         layout: Layout | str = Layout.ROW_MAJOR,
+        dtype=None,
     ) -> TtmPlan:
-        """The near-optimal plan for one TTM input."""
+        """The near-optimal plan for one TTM input.
+
+        *dtype* is the element type the plan will execute (default
+        float64, the paper's setting).  It scales every byte threshold —
+        MSTH/MLTH degree selection and the PTH thread split — and decides
+        the kernel: element types real BLAS does not expose route to the
+        blocked kernel up front instead of warning at dispatch time.
+        """
         counters = active_hot_counters()
         if counters is not None:
             # Planning cost is part of the dispatch overhead the hot-path
@@ -118,6 +128,7 @@ class ParameterEstimator:
             # this staying flat while TTM calls accumulate.
             counters.count_estimate()
         layout = Layout.parse(layout)
+        dt = DEFAULT_DTYPE if dtype is None else canonical_dtype(dtype)
         shape_t = tuple(int(s) for s in shape)
         order = len(shape_t)
         mode = check_mode(mode, order)
@@ -131,9 +142,10 @@ class ParameterEstimator:
                 mode=mode,
                 j=j,
                 layout=layout.name,
+                dtype=dt.name,
                 threads=self.max_threads,
             ) as span:
-                plan = self._estimate_impl(shape_t, order, mode, j, layout)
+                plan = self._estimate_impl(shape_t, order, mode, j, layout, dt)
                 span.set(
                     strategy=plan.strategy.value,
                     degree=plan.degree,
@@ -143,7 +155,7 @@ class ParameterEstimator:
                     kernel=plan.kernel,
                 )
             return plan
-        return self._estimate_impl(shape_t, order, mode, j, layout)
+        return self._estimate_impl(shape_t, order, mode, j, layout, dt)
 
     def _estimate_impl(
         self,
@@ -152,16 +164,25 @@ class ParameterEstimator:
         mode: int,
         j: int,
         layout: Layout,
+        dt,
     ) -> TtmPlan:
         strategy = strategy_for(order, mode, layout)
         thresholds = self.thresholds_for(j)
         degree = choose_degree(
-            shape_t, mode, layout, j, thresholds, strategy=strategy
+            shape_t,
+            mode,
+            layout,
+            j,
+            thresholds,
+            strategy=strategy,
+            itemsize=dt.itemsize,
         )
         comp = component_modes_for_strategy(order, mode, strategy, degree)
         loops = self._loop_order(order, mode, comp, layout)
 
-        kernel_bytes = kernel_working_set_bytes(shape_t, mode, j, comp)
+        kernel_bytes = kernel_working_set_bytes(
+            shape_t, mode, j, comp, itemsize=dt.itemsize
+        )
         loop_iters = 1
         for m in loops:
             loop_iters *= shape_t[m]
@@ -185,11 +206,13 @@ class ParameterEstimator:
             kernel_threads=alloc.kernel_threads,
             kernel="blas",
             batch_modes=choose_batch_modes(shape_t, layout, mode, j, loops),
+            dtype=dt.name,
         )
-        if not plan.views_blas_legal:
+        if not plan.views_blas_legal or not kernel_supports("blas", dt):
             # Figure 7's dispatch: general-stride views need the BLIS-role
-            # kernel.  (Natural and fallback strategies are always legal;
-            # this triggers only for exotic explicit configurations.)
+            # kernel, and so do element types BLAS GEMM does not expose
+            # (float16).  Choosing blocked here keeps the dispatch-time
+            # capability fallback a safety net, not the normal path.
             plan = dataclasses.replace(plan, kernel="blocked")
         if (
             self.refine_with_model
@@ -246,7 +269,7 @@ class ParameterEstimator:
             )
             loops = self._loop_order(order, mode, comp, plan.layout)
             kernel_bytes = kernel_working_set_bytes(
-                plan.shape, mode, plan.j, comp
+                plan.shape, mode, plan.j, comp, itemsize=plan.itemsize
             )
             loop_iters = 1
             for m in loops:
@@ -254,9 +277,7 @@ class ParameterEstimator:
             alloc = allocate_threads(
                 kernel_bytes,
                 self.max_threads,
-                # Zero-extent tensors have zero iterations; plan the (empty)
-            # nest as if it ran once so the thread split stays valid.
-            loop_iterations=max(1, loop_iters),
+                loop_iterations=max(1, loop_iters),
                 pth_bytes=self.pth_bytes,
             )
             candidate = dataclasses.replace(

@@ -34,8 +34,32 @@ from repro.gemm.bench import (
 from repro.obs.tracer import active_tracer
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import Layout
-from repro.util.errors import ShapeError
+from repro.util.dtypes import DEFAULT_DTYPE, canonical_dtype
+from repro.util.errors import DtypeError, ShapeError
 from repro.util.validation import check_positive_int
+
+
+def _match_u_dtype(u, x_dtype: np.dtype) -> np.ndarray:
+    """Normalize U against the tensor dtype: preserve, reject, or lift.
+
+    Same policy as the executor's input check: a matching float dtype
+    passes through untouched (no copy); a *different* supported float
+    dtype is rejected (silently changing precision is the bug this PR
+    removes); non-float input (ints, lists) is materialized in the
+    tensor's dtype — a J x I_n matrix, negligible next to X.
+    """
+    u = np.asarray(u)
+    if u.dtype == x_dtype:
+        return u
+    if u.dtype.kind == "f":
+        from repro.util.dtypes import is_supported_dtype
+
+        if is_supported_dtype(u.dtype):
+            raise DtypeError(
+                f"U has dtype {u.dtype.name} but x is {x_dtype.name}; cast "
+                "U explicitly instead of relying on a silent conversion"
+            )
+    return np.asarray(u, dtype=x_dtype)
 
 
 class InTensLi:
@@ -128,22 +152,25 @@ class InTensLi:
         mode: int,
         j: int,
         layout: Layout | str = Layout.ROW_MAJOR,
+        dtype=None,
     ) -> TtmPlan:
-        """The (cached) plan for an input signature."""
+        """The (cached) plan for an input signature (geometry + dtype)."""
         layout = Layout.parse(layout)
+        dt = DEFAULT_DTYPE if dtype is None else canonical_dtype(dtype)
         shape_t = tuple(int(s) for s in shape)
         tracer = active_tracer()
         if not tracer.enabled:
-            return self._plan_impl(shape_t, mode, j, layout)
+            return self._plan_impl(shape_t, mode, j, layout, dt)
         with tracer.span(
             "plan",
             shape=list(shape_t),
             mode=mode,
             j=j,
             layout=layout.name,
+            dtype=dt.name,
             threads=self.max_threads,
         ) as span:
-            plan = self._plan_impl(shape_t, mode, j, layout)
+            plan = self._plan_impl(shape_t, mode, j, layout, dt)
             span.set(
                 strategy=plan.strategy.value,
                 degree=plan.degree,
@@ -155,28 +182,36 @@ class InTensLi:
         return plan
 
     def _plan_impl(
-        self, shape_t: tuple[int, ...], mode: int, j: int, layout: Layout
+        self,
+        shape_t: tuple[int, ...],
+        mode: int,
+        j: int,
+        layout: Layout,
+        dt: np.dtype,
     ) -> TtmPlan:
         tracer = active_tracer()
         if self._persistent_cache is not None:
             if tracer.enabled:
                 with tracer.span("cache-lookup", persistent=True) as span:
                     plan = self._persistent_cache.get_plan(
-                        shape_t, mode, j, layout, self.max_threads
+                        shape_t, mode, j, layout, self.max_threads,
+                        dtype=dt.name,
                     )
                     span.set(hit=plan is not None)
             else:
                 plan = self._persistent_cache.get_plan(
-                    shape_t, mode, j, layout, self.max_threads
+                    shape_t, mode, j, layout, self.max_threads, dtype=dt.name
                 )
             if plan is None:
-                plan = self.estimator.estimate(shape_t, mode, j, layout)
+                plan = self.estimator.estimate(
+                    shape_t, mode, j, layout, dtype=dt
+                )
                 self._persistent_cache.put_plan(
                     shape_t, mode, j, layout, self.max_threads, plan,
-                    source="estimator",
+                    source="estimator", dtype=dt.name,
                 )
             return plan
-        key = (shape_t, mode, j, layout)
+        key = (shape_t, mode, j, layout, dt.name)
         if tracer.enabled:
             with tracer.span("cache-lookup", persistent=False) as span:
                 plan = self._plan_cache.get(key)
@@ -184,7 +219,7 @@ class InTensLi:
         else:
             plan = self._plan_cache.get(key)
         if plan is None:
-            plan = self.estimator.estimate(shape_t, mode, j, layout)
+            plan = self.estimator.estimate(shape_t, mode, j, layout, dtype=dt)
             self._plan_cache[key] = plan
         return plan
 
@@ -213,7 +248,7 @@ class InTensLi:
 
         if not isinstance(x, DenseTensor):
             x = DenseTensor(np.asarray(x))
-        u = np.asarray(u, dtype=np.float64)
+        u = _match_u_dtype(u, x.data.dtype)
         if u.ndim != 2:
             raise ShapeError(f"U must be 2-D (J x I_n), got {u.ndim}-D")
         tuner = ExhaustiveTuner(
@@ -228,7 +263,7 @@ class InTensLi:
         if self._persistent_cache is not None:
             self._persistent_cache.put_plan(
                 best.shape, best.mode, best.j, best.layout,
-                self.max_threads, best, source="tuned",
+                self.max_threads, best, source="tuned", dtype=best.dtype,
             )
         return best
 
@@ -270,14 +305,16 @@ class InTensLi:
         """
         if not isinstance(x, DenseTensor):
             x = DenseTensor(np.asarray(x))
-        u = np.asarray(u, dtype=np.float64)
+        u = _match_u_dtype(u, x.data.dtype)
         if u.ndim != 2:
             raise ShapeError(f"U must be 2-D, got {u.ndim}-D")
         if transpose_u:
             u = u.T
         tracer = active_tracer()
         if not tracer.enabled:
-            plan = self.plan(x.shape, mode, u.shape[0], x.layout)
+            plan = self.plan(
+                x.shape, mode, u.shape[0], x.layout, dtype=x.data.dtype
+            )
             return self.execute(plan, x, u, out=out)
         with tracer.span(
             "ttm",
@@ -285,9 +322,12 @@ class InTensLi:
             mode=mode,
             j=int(u.shape[0]),
             layout=x.layout.name,
+            dtype=x.data.dtype.name,
             executor=self.executor,
         ):
-            plan = self.plan(x.shape, mode, u.shape[0], x.layout)
+            plan = self.plan(
+                x.shape, mode, u.shape[0], x.layout, dtype=x.data.dtype
+            )
             return self.execute(plan, x, u, out=out)
 
     def execute(
@@ -305,17 +345,28 @@ class InTensLi:
                 f"plan is for {plan.shape}/{plan.layout.name}, tensor is "
                 f"{x.shape}/{x.layout.name}"
             )
-        u = np.asarray(u, dtype=np.float64)
+        if x.data.dtype != plan.np_dtype:
+            raise DtypeError(
+                f"plan is for dtype {plan.dtype}, tensor is "
+                f"{x.data.dtype.name}; re-plan for the tensor's dtype"
+            )
+        u = _match_u_dtype(u, plan.np_dtype)
         if u.shape != (plan.j, plan.i_n):
             raise ShapeError(
                 f"U shape {u.shape} != (J={plan.j}, I_n={plan.i_n})"
             )
         if out is None:
-            out = DenseTensor.empty(plan.out_shape, plan.layout)
+            out = DenseTensor.empty(plan.out_shape, plan.layout,
+                                    dtype=plan.dtype)
         elif out.shape != plan.out_shape or out.layout is not plan.layout:
             raise ShapeError(
                 f"out is {out.shape}/{out.layout.name}, plan needs "
                 f"{plan.out_shape}/{plan.layout.name}"
+            )
+        elif out.data.dtype != plan.np_dtype:
+            raise DtypeError(
+                f"out has dtype {out.data.dtype.name}, plan needs "
+                f"{plan.dtype}"
             )
         fn = compile_plan(plan)
         tracer = active_tracer()
@@ -326,6 +377,7 @@ class InTensLi:
                 kernel=plan.kernel,
                 degree=plan.degree,
                 batch_modes=list(plan.batch_modes),
+                dtype=plan.dtype,
                 flops=plan.total_flops,
             ):
                 fn(x.data, u, out.data)

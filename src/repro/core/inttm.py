@@ -46,7 +46,8 @@ from repro.perf.profiler import active_hot_counters
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import Layout
 from repro.tensor.views import BatchViewFactory, MatrixViewFactory
-from repro.util.errors import PlanError, ShapeError
+from repro.util.dtypes import DEFAULT_DTYPE, canonical_dtype
+from repro.util.errors import DtypeError, PlanError, ShapeError
 from repro.util.validation import check_mode, check_positive_int
 
 
@@ -60,6 +61,7 @@ def default_plan(
     kernel: str = "auto",
     degree: int | None = None,
     batched: bool = True,
+    dtype=None,
 ) -> TtmPlan:
     """A maximal-merge plan (all available contiguous modes in ``M_C``).
 
@@ -74,6 +76,7 @@ def default_plan(
     mode = check_mode(mode, order)
     check_positive_int(j, "j")
     layout = Layout.parse(layout)
+    dt = DEFAULT_DTYPE if dtype is None else canonical_dtype(dtype)
     from repro.core.partition import (
         available_modes_for_strategy,
         choose_batch_modes,
@@ -102,6 +105,7 @@ def default_plan(
         kernel_threads=kernel_threads,
         kernel=kernel,
         batch_modes=batch,
+        dtype=dt.name,
     )
 
 
@@ -128,13 +132,19 @@ def _check_inputs(x: DenseTensor, u: np.ndarray, plan: TtmPlan) -> np.ndarray:
 
 def _prepare_out(plan: TtmPlan, out: DenseTensor | None) -> DenseTensor:
     if out is None:
-        return DenseTensor.empty(plan.out_shape, plan.layout)
+        return DenseTensor.empty(plan.out_shape, plan.layout, dtype=plan.dtype)
     if not isinstance(out, DenseTensor):
         raise TypeError(f"out must be a DenseTensor, got {type(out).__name__}")
     if out.shape != plan.out_shape or out.layout is not plan.layout:
         raise PlanError(
             f"out has shape {out.shape} / {out.layout.name}, plan needs "
             f"{plan.out_shape} / {plan.layout.name}"
+        )
+    if out.data.dtype != plan.np_dtype:
+        raise DtypeError(
+            f"out has dtype {out.data.dtype.name}, plan needs {plan.dtype}; "
+            "writing through a mismatched out would silently round every "
+            "element"
         )
     return out
 
@@ -154,7 +164,7 @@ def _kernel_runner(plan: TtmPlan, accumulate: bool = False):
                           accumulate=accumulate)
 
         return run
-    impl = resolve_kernel(plan.kernel)
+    impl = resolve_kernel(plan.kernel, plan.dtype)
 
     def run(a, b, out):
         impl(a, b, out=out, accumulate=accumulate)
@@ -230,6 +240,7 @@ def _execute_batched(x, u, ut, y, plan: TtmPlan, accumulate: bool) -> None:
                 k=k_k,
                 n=n_k,
                 kernel=plan.kernel,
+                dtype=plan.dtype,
             ):
                 plain_dispatch(x3, y3)
 
@@ -302,6 +313,7 @@ def _execute_looped(x, u, ut, y, plan: TtmPlan, accumulate: bool) -> None:
                 k=k_k,
                 n=n_k,
                 kernel=plan.kernel,
+                dtype=plan.dtype,
             ):
                 if forward:
                     run_kernel(u, x_sub, y_sub)
@@ -374,7 +386,9 @@ def ttm_inplace(
         u_arr = np.asarray(u, dtype=np.float64)
         if u_arr.ndim != 2:
             raise ShapeError(f"U must be 2-D (J x I_n), got {u_arr.ndim}-D")
-        plan = default_plan(x.shape, mode, u_arr.shape[0], x.layout)
+        plan = default_plan(
+            x.shape, mode, u_arr.shape[0], x.layout, dtype=x.data.dtype.name
+        )
     u = _check_inputs(x, u, plan)
     y = _prepare_out(plan, out)
     ut = u.T  # view; used by the backward kernel form
@@ -391,6 +405,7 @@ def ttm_inplace(
             degree=plan.degree,
             batch_modes=list(plan.batch_modes),
             kernel=plan.kernel,
+            dtype=plan.dtype,
             flops=plan.total_flops,
         ):
             if plan.batch_modes:

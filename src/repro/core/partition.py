@@ -200,17 +200,25 @@ def choose_batch_modes(
 
 
 def kernel_working_set_bytes(
-    shape: Sequence[int], mode: int, j: int, component_modes: Sequence[int]
+    shape: Sequence[int],
+    mode: int,
+    j: int,
+    component_modes: Sequence[int],
+    itemsize: int = 8,
 ) -> int:
     """Bytes of the three inner-GEMM matrices for a candidate ``M_C``.
 
     ``X_sub (I_n x P)``, ``U (J x I_n)``, ``Y_sub (J x P)`` with
-    ``P = prod(shape[c] for c in M_C)``.
+    ``P = prod(shape[c] for c in M_C)``.  *itemsize* is the element size
+    in bytes (8 for float64, the paper's setting; 4 for float32): the
+    MSTH/MLTH window is a byte budget, so halving the element size lets a
+    kernel of twice the geometry fit the same window.
     """
     check_positive_int(j, "j")
+    check_positive_int(itemsize, "itemsize")
     i_n = int(shape[mode])
     p = math.prod(int(shape[c]) for c in component_modes) if component_modes else 1
-    return 8 * (i_n * p + j * i_n + j * p)
+    return itemsize * (i_n * p + j * i_n + j * p)
 
 
 def derive_thresholds(
@@ -274,6 +282,7 @@ def choose_degree(
     j: int,
     thresholds: Thresholds,
     strategy=None,
+    itemsize: int = 8,
 ) -> int:
     """The paper's degree selection (§4.3.1).
 
@@ -282,7 +291,9 @@ def choose_degree(
     least 1 when any component mode exists, since a degree-0 fiber kernel
     is strictly worse — Observation 3's BLAS-level argument).
 
-    *strategy* defaults to :func:`strategy_for`'s choice.
+    *strategy* defaults to :func:`strategy_for`'s choice.  *itemsize*
+    scales the working set: a float32 input (itemsize 4) can merge more
+    modes before hitting MLTH than the same geometry in float64.
     """
     order = len(shape)
     if strategy is None:
@@ -293,7 +304,7 @@ def choose_degree(
     best = 1
     for degree in range(1, len(available) + 1):
         comp = component_modes_for_strategy(order, mode, strategy, degree)
-        ws = kernel_working_set_bytes(shape, mode, j, comp)
+        ws = kernel_working_set_bytes(shape, mode, j, comp, itemsize=itemsize)
         if ws <= thresholds.mlth_bytes:
             best = degree
             if ws >= thresholds.msth_bytes:

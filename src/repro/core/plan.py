@@ -25,7 +25,10 @@ import enum
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.tensor.layout import Layout, element_strides
+from repro.util.dtypes import SUPPORTED_DTYPES
 from repro.util.errors import LayoutError, PlanError
 
 
@@ -56,11 +59,17 @@ class TtmPlan:
     kernel_threads: int = 1
     kernel: str = "auto"
     batch_modes: tuple[int, ...] = ()
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         order = len(self.shape)
         if order < 1:
             raise PlanError("plan requires an order >= 1 tensor")
+        if self.dtype not in SUPPORTED_DTYPES:
+            raise PlanError(
+                f"plan dtype {self.dtype!r} not in {SUPPORTED_DTYPES}; "
+                "pass the canonical dtype name (e.g. 'float32')"
+            )
         if not 0 <= self.mode < order:
             raise PlanError(f"mode {self.mode} out of range for order {order}")
         if self.j < 1:
@@ -237,10 +246,25 @@ class TtmPlan:
         return leading in self.component_modes
 
     @property
+    def np_dtype(self) -> np.dtype:
+        """The plan's element type as a :class:`numpy.dtype`."""
+        return np.dtype(self.dtype)
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element — the scale factor of every byte threshold."""
+        return np.dtype(self.dtype).itemsize
+
+    @property
     def kernel_working_set_bytes(self) -> int:
-        """Bytes of the three inner-GEMM operands (the threshold unit)."""
+        """Bytes of the three inner-GEMM operands (the threshold unit).
+
+        Scaled by the plan dtype's itemsize: a float32 kernel of the same
+        geometry touches half the memory, which is exactly what moves it
+        across the MSTH/MLTH window (§4.3.1 is stated in bytes).
+        """
         m, k, n = self.kernel_shape
-        return 8 * (m * k + k * n + m * n)
+        return self.itemsize * (m * k + k * n + m * n)
 
     @property
     def kernel_flops(self) -> int:
@@ -262,9 +286,15 @@ class TtmPlan:
             f"{self.layout.name}/{self.strategy.value} "
             f"M_C=({comp}) M_L=({loops}) M_B=({batch}) "
             f"P_L={self.loop_threads} "
-            f"P_C={self.kernel_threads} kernel={self.kernel}]"
+            f"P_C={self.kernel_threads} kernel={self.kernel} "
+            f"dtype={self.dtype}]"
         )
 
     def cache_key(self) -> tuple:
-        """Key identifying the *input* this plan was built for."""
-        return (self.shape, self.mode, self.j, self.layout)
+        """Key identifying the *input* this plan was built for.
+
+        Includes the dtype: a float32 plan and a float64 plan for the
+        same geometry make different threshold decisions and must never
+        collide in a cache.
+        """
+        return (self.shape, self.mode, self.j, self.layout, self.dtype)

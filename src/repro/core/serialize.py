@@ -33,7 +33,10 @@ from repro.util.errors import (
 #: Version of the on-disk plan/cache format.  Bump when the envelope or
 #: the per-plan payload changes incompatibly; readers reject other
 #: versions with :class:`SchemaMismatchError` rather than guessing.
-SCHEMA_VERSION = 2
+#: Version 3 added the plan dtype (and dtype-qualified cache keys):
+#: pre-dtype stores planned every signature as float64, so their entries
+#: would shadow float32 plans — readers invalidate them wholesale.
+SCHEMA_VERSION = 3
 
 
 def plan_to_dict(plan: TtmPlan) -> dict:
@@ -50,6 +53,7 @@ def plan_to_dict(plan: TtmPlan) -> dict:
         "kernel_threads": plan.kernel_threads,
         "kernel": plan.kernel,
         "batch_modes": list(plan.batch_modes),
+        "dtype": plan.dtype,
     }
 
 
@@ -70,6 +74,8 @@ def plan_from_dict(payload: dict) -> TtmPlan:
             # Absent in caches written before batched execution existed;
             # such plans simply run the per-iteration path.
             batch_modes=tuple(int(m) for m in payload.get("batch_modes", ())),
+            # Absent in pre-dtype payloads (schema <= 2, all float64).
+            dtype=str(payload.get("dtype", "float64")),
         )
     except KeyError as exc:
         raise PlanError(f"plan payload missing field {exc}") from exc

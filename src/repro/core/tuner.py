@@ -39,6 +39,7 @@ def enumerate_plans(
     layout: Layout | str = Layout.ROW_MAJOR,
     max_threads: int = 1,
     kernels: Sequence[str] = ("blas",),
+    dtype: str = "float64",
 ) -> list[TtmPlan]:
     """Every legal configuration for one input.
 
@@ -83,6 +84,7 @@ def enumerate_plans(
                         kernel_threads=p_c,
                         kernel=kernel,
                         batch_modes=batch,
+                        dtype=dtype,
                     )
                 )
     return plans
@@ -165,8 +167,8 @@ class ExhaustiveTuner:
         would.
         """
         if out is None:
-            out = DenseTensor.empty(plan.out_shape, x.layout)
-        run = self._runner(plan, x, np.asarray(u, dtype=np.float64), out)
+            out = DenseTensor.empty(plan.out_shape, x.layout, dtype=plan.dtype)
+        run = self._runner(plan, x, np.asarray(u), out)
         return time_callable(
             run, min_repeats=self.min_repeats, min_seconds=self.min_seconds
         )
@@ -183,11 +185,14 @@ class ExhaustiveTuner:
         counters = active_hot_counters()
         if counters is not None:
             counters.count_tuner_sweep()
-        u = np.asarray(u, dtype=np.float64)
+        u = np.asarray(u)
         plans = enumerate_plans(
-            x.shape, mode, u.shape[0], x.layout, max_threads, kernels
+            x.shape, mode, u.shape[0], x.layout, max_threads, kernels,
+            dtype=x.data.dtype.name,
         )
-        out = DenseTensor.empty(plans[0].out_shape, x.layout)
+        out = DenseTensor.empty(
+            plans[0].out_shape, x.layout, dtype=x.data.dtype.name
+        )
         tracer = active_tracer()
         if tracer.enabled:
             with tracer.span(

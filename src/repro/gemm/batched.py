@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.gemm.interface import blas_legal, gemm
 from repro.obs.tracer import active_tracer
+from repro.util.dtypes import result_dtype
 from repro.util.errors import ShapeError, StrideError
 
 
@@ -129,6 +130,7 @@ def gemm_batched(
                 k=k,
                 n=n,
                 kernel=kernel,
+                dtype=np.result_type(a, b).name,
                 accumulate=accumulate,
             ):
                 return _gemm_batched_run(
@@ -138,16 +140,21 @@ def gemm_batched(
 
 
 def _gemm_batched_run(a, b, out, batch, m, n, accumulate, kernel, kwargs):
-    legal = (
+    from repro.gemm.interface import blas_dtype_legal
+
+    strides_legal = (
         batched_slices_blas_legal(a)
         and batched_slices_blas_legal(b)
         and (out is None or batched_slices_blas_legal(out))
     )
-    if kernel == "blas" and not legal:
+    if kernel == "blas" and not strides_legal:
         raise StrideError(
             "batched operands have slices not expressible in the BLAS "
             "interface; use kernel='auto' or 'blocked' for general strides"
         )
+    # Non-BLAS dtypes (float16) skip the matmul fast path and loop per
+    # slice, where the 2-D dispatch applies its dtype capability fallback.
+    legal = strides_legal and blas_dtype_legal(result_dtype(a, b))
     if kernel in ("blas", "auto") and legal and not accumulate and not kwargs:
         if out is None:
             return np.matmul(a, b)
@@ -157,7 +164,7 @@ def _gemm_batched_run(a, b, out, batch, m, n, accumulate, kernel, kwargs):
     # Per-slice fallback: same numerics as the per-iteration executor.
     slice_kernel = "auto" if kernel == "blas" else kernel
     if out is None:
-        out = np.empty((batch, m, n), dtype=np.float64)
+        out = np.empty((batch, m, n), dtype=result_dtype(a, b))
     for i in range(batch):
         gemm(
             _slice(a, i),

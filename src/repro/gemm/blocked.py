@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.obs.tracer import active_tracer
+from repro.util.dtypes import result_dtype
 from repro.util.errors import ShapeError
 
 
@@ -49,8 +50,12 @@ class BlockSizes:
 
     @property
     def packed_bytes(self) -> int:
-        """Bytes of packing buffers at these block sizes (A block + B panel)."""
-        return 8 * (self.mc * self.kc + self.kc * self.nc)
+        """Bytes of float64 packing buffers (A block + B panel)."""
+        return self.packed_bytes_for(8)
+
+    def packed_bytes_for(self, itemsize: int) -> int:
+        """Bytes of packing buffers for elements of *itemsize* bytes."""
+        return itemsize * (self.mc * self.kc + self.kc * self.nc)
 
 
 DEFAULT_BLOCKS = BlockSizes()
@@ -67,8 +72,13 @@ def gemm_blocked(
 
     Returns *out* (allocated C-contiguous when None).
     """
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
+    a = np.asarray(a)
+    b = np.asarray(b)
+    dt = result_dtype(a, b)
+    if a.dtype != dt:
+        a = np.asarray(a, dtype=dt)
+    if b.dtype != dt:
+        b = np.asarray(b, dtype=dt)
     if a.ndim != 2 or b.ndim != 2:
         raise ShapeError(f"gemm operands must be 2-D, got {a.ndim}-D and {b.ndim}-D")
     m, k = a.shape
@@ -76,7 +86,7 @@ def gemm_blocked(
     if k != k2:
         raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
     if out is None:
-        out = np.empty((m, n), dtype=np.float64)
+        out = np.empty((m, n), dtype=dt)
         accumulate = False
     elif out.shape != (m, n):
         raise ShapeError(f"out shape {out.shape} != {(m, n)}")
@@ -111,9 +121,10 @@ def _gemm_blocked_run(
     n = b.shape[1]
     mc, kc, nc = blocks.mc, blocks.kc, blocks.nc
 
-    # Pre-allocated packing buffers, reused across all panels.
-    pack_a = np.empty((min(mc, m), min(kc, k)), dtype=np.float64)
-    pack_b = np.empty((min(kc, k), min(nc, n)), dtype=np.float64)
+    # Pre-allocated packing buffers, reused across all panels.  Packed in
+    # the operand dtype: packing exists to fix strides, not element size.
+    pack_a = np.empty((min(mc, m), min(kc, k)), dtype=a.dtype)
+    pack_b = np.empty((min(kc, k), min(nc, n)), dtype=b.dtype)
 
     if k == 0:
         if not accumulate:

@@ -9,11 +9,13 @@ consequences (§4.3.1).
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 import numpy as np
 
 from repro.obs.tracer import active_tracer
+from repro.util.dtypes import SUPPORTED_DTYPES, canonical_dtype, result_dtype
 from repro.util.errors import ShapeError, StrideError
 
 
@@ -50,7 +52,12 @@ def _gemm_auto(a, b, out=None, accumulate=False):
     from repro.gemm.blas_like import gemm_blas
     from repro.gemm.blocked import gemm_blocked
 
-    if blas_legal(a) and blas_legal(b) and (out is None or blas_legal(out)):
+    if (
+        blas_dtype_legal(result_dtype(a, b))
+        and blas_legal(a)
+        and blas_legal(b)
+        and (out is None or blas_legal(out))
+    ):
         return gemm_blas(a, b, out=out, accumulate=accumulate)
     return gemm_blocked(a, b, out=out, accumulate=accumulate)
 
@@ -79,20 +86,79 @@ def _registry() -> dict[str, Callable]:
     return _REGISTRY
 
 
-def resolve_kernel(kernel: str) -> Callable:
+#: Element types each kernel executes natively.  ``blas`` is restricted to
+#: the types real BLAS libraries expose (SGEMM/DGEMM); the pure-strided
+#: kernels work elementwise and take every supported dtype.  ``auto`` and
+#: ``threaded`` route per operand, so they inherit the full set.
+KERNEL_DTYPES: dict[str, frozenset[str]] = {
+    "auto": frozenset(SUPPORTED_DTYPES),
+    "blas": frozenset(("float32", "float64")),
+    "blocked": frozenset(SUPPORTED_DTYPES),
+    "reference": frozenset(SUPPORTED_DTYPES),
+    "threaded": frozenset(SUPPORTED_DTYPES),
+}
+
+#: Where a kernel that cannot execute a dtype is re-routed.  The blocked
+#: kernel accepts arbitrary strides and every supported dtype, so it is
+#: the universal (if slower) landing spot.
+FALLBACK_KERNEL = "blocked"
+
+_FALLBACKS_WARNED: set[tuple[str, str]] = set()
+
+
+def blas_dtype_legal(dtype) -> bool:
+    """True when *dtype* is a type real BLAS GEMM interfaces expose."""
+    return np.dtype(dtype).name in KERNEL_DTYPES["blas"]
+
+
+def kernel_supports(kernel: str, dtype) -> bool:
+    """True when *kernel* executes *dtype* natively (no fallback needed)."""
+    try:
+        supported = KERNEL_DTYPES[kernel]
+    except KeyError:
+        raise StrideError(
+            f"unknown gemm kernel {kernel!r}; choose from {KERNELS}"
+        ) from None
+    return canonical_dtype(dtype).name in supported
+
+
+def resolve_kernel(kernel: str, dtype=None) -> Callable:
     """The callable behind a kernel name (for hoisting dispatch out of loops).
 
     ``gemm(..., kernel=k)`` performs a registry lookup per call; loop
     bodies that dispatch thousands of small GEMMs resolve the kernel once
     with this function instead and call the result directly.
+
+    When *dtype* is given, the resolution is **capability-checked**: a
+    kernel that cannot execute that element type (e.g. ``blas`` asked for
+    float16, which no BLAS GEMM exposes) resolves to the
+    :data:`FALLBACK_KERNEL` instead, with a one-time warning per
+    ``(kernel, dtype)`` pair — never a silent upcast-and-copy of the
+    operands.
     """
     registry = _registry()
     try:
-        return registry[kernel]
+        impl = registry[kernel]
     except KeyError:
         raise StrideError(
             f"unknown gemm kernel {kernel!r}; choose from {KERNELS}"
         ) from None
+    if dtype is None:
+        return impl
+    dt = canonical_dtype(dtype)
+    if dt.name in KERNEL_DTYPES[kernel]:
+        return impl
+    key = (kernel, dt.name)
+    if key not in _FALLBACKS_WARNED:
+        _FALLBACKS_WARNED.add(key)
+        warnings.warn(
+            f"gemm kernel {kernel!r} does not support dtype {dt.name}; "
+            f"falling back to {FALLBACK_KERNEL!r} (strided, "
+            "dtype-preserving). Pick a supported dtype to silence this.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return registry[FALLBACK_KERNEL]
 
 
 KERNELS = "auto", "blas", "blocked", "reference", "threaded"
@@ -144,6 +210,7 @@ def gemm(
                 k=a.shape[1],
                 n=b.shape[1],
                 kernel=kernel,
+                dtype=np.result_type(a, b).name,
                 accumulate=accumulate,
             ):
                 return impl(a, b, out=out, accumulate=accumulate, **kwargs)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.util.dtypes import result_dtype
 from repro.util.errors import ShapeError
 
 
@@ -24,8 +25,8 @@ def gemm_reference(
 
     Accepts arbitrary strides.  Returns *out* (allocating it when None).
     """
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
+    a = np.asarray(a)
+    b = np.asarray(b)
     if a.ndim != 2 or b.ndim != 2:
         raise ShapeError(f"gemm operands must be 2-D, got {a.ndim}-D and {b.ndim}-D")
     m, k = a.shape
@@ -33,7 +34,7 @@ def gemm_reference(
     if k != k2:
         raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
     if out is None:
-        out = np.zeros((m, n), dtype=np.float64)
+        out = np.zeros((m, n), dtype=result_dtype(a, b))
         accumulate = True  # freshly zeroed, accumulation is safe and simple
     if out.shape != (m, n):
         raise ShapeError(f"out shape {out.shape} != {(m, n)}")

@@ -18,6 +18,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.util.dtypes import result_dtype
 from repro.util.errors import ShapeError
 from repro.util.validation import check_positive_int
 
@@ -52,8 +53,8 @@ def gemm_threaded(
     from repro.gemm.interface import gemm
 
     check_positive_int(threads, "threads")
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
+    a = np.asarray(a)
+    b = np.asarray(b)
     if a.ndim != 2 or b.ndim != 2:
         raise ShapeError(f"gemm operands must be 2-D, got {a.ndim}-D and {b.ndim}-D")
     m, k = a.shape
@@ -63,7 +64,7 @@ def gemm_threaded(
     if out is None:
         if accumulate:
             raise ShapeError("accumulate=True requires an out array")
-        out = np.empty((m, n), dtype=np.float64)
+        out = np.empty((m, n), dtype=result_dtype(a, b))
     elif out.shape != (m, n):
         raise ShapeError(f"out shape {out.shape} != {(m, n)}")
 

@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.tensor.layout import Layout, element_strides, leading_mode
+from repro.util.dtypes import DEFAULT_DTYPE, canonical_dtype, is_supported_dtype
 from repro.util.errors import LayoutError, ShapeError
 from repro.util.rng import default_rng
 from repro.util.validation import normalized_order
@@ -40,6 +41,12 @@ class DenseTensor:
         ``Layout.COL_MAJOR`` (Tensor Toolbox convention).
     copy:
         Force a copy even when *data* already satisfies the layout.
+    dtype:
+        Explicit element type (one of the supported float dtypes).  When
+        None, supported float dtypes of *data* are **preserved copy-free**
+        — wrapping a float32 array never silently upcasts it to float64 —
+        and anything else (ints, bools, Python lists) is materialized as
+        float64, the library default.
     """
 
     __slots__ = ("_data", "_layout", "_strides")
@@ -50,13 +57,20 @@ class DenseTensor:
         layout: Layout | str = Layout.ROW_MAJOR,
         *,
         copy: bool = False,
+        dtype=None,
     ) -> None:
         layout = Layout.parse(layout)
-        arr = np.asarray(data, dtype=np.float64)
+        arr = np.asarray(data)
+        if dtype is not None:
+            target = canonical_dtype(dtype)
+        elif is_supported_dtype(arr.dtype):
+            target = arr.dtype
+        else:
+            target = DEFAULT_DTYPE
         order = layout.numpy_order
         want_flag = "C_CONTIGUOUS" if layout is Layout.ROW_MAJOR else "F_CONTIGUOUS"
-        if copy or not arr.flags[want_flag]:
-            arr = np.array(arr, dtype=np.float64, order=order, copy=True)
+        if copy or arr.dtype != target or not arr.flags[want_flag]:
+            arr = np.array(arr, dtype=target, order=order, copy=True)
         self._data = arr
         self._layout = layout
         self._strides = element_strides(arr.shape, layout)
@@ -65,19 +79,31 @@ class DenseTensor:
 
     @classmethod
     def zeros(
-        cls, shape: Sequence[int], layout: Layout | str = Layout.ROW_MAJOR
+        cls,
+        shape: Sequence[int],
+        layout: Layout | str = Layout.ROW_MAJOR,
+        dtype=None,
     ) -> "DenseTensor":
-        """A zero-filled tensor of the given shape and layout."""
+        """A zero-filled tensor of the given shape, layout and dtype."""
         layout = Layout.parse(layout)
-        return cls(np.zeros(tuple(shape), order=layout.numpy_order), layout)
+        dt = DEFAULT_DTYPE if dtype is None else canonical_dtype(dtype)
+        return cls(
+            np.zeros(tuple(shape), dtype=dt, order=layout.numpy_order), layout
+        )
 
     @classmethod
     def empty(
-        cls, shape: Sequence[int], layout: Layout | str = Layout.ROW_MAJOR
+        cls,
+        shape: Sequence[int],
+        layout: Layout | str = Layout.ROW_MAJOR,
+        dtype=None,
     ) -> "DenseTensor":
         """An uninitialized tensor (used for preallocating TTM outputs)."""
         layout = Layout.parse(layout)
-        return cls(np.empty(tuple(shape), order=layout.numpy_order), layout)
+        dt = DEFAULT_DTYPE if dtype is None else canonical_dtype(dtype)
+        return cls(
+            np.empty(tuple(shape), dtype=dt, order=layout.numpy_order), layout
+        )
 
     @classmethod
     def random(
@@ -85,19 +111,26 @@ class DenseTensor:
         shape: Sequence[int],
         layout: Layout | str = Layout.ROW_MAJOR,
         seed=None,
+        dtype=None,
     ) -> "DenseTensor":
         """A tensor with iid uniform [0, 1) entries (deterministic per seed)."""
         layout = Layout.parse(layout)
+        dt = DEFAULT_DTYPE if dtype is None else canonical_dtype(dtype)
         rng = default_rng(seed)
         values = rng.random(tuple(shape))
-        return cls(np.asarray(values, order=layout.numpy_order), layout)
+        return cls(
+            np.asarray(values, dtype=dt, order=layout.numpy_order), layout
+        )
 
     @classmethod
     def from_array(
-        cls, data: np.ndarray, layout: Layout | str = Layout.ROW_MAJOR
+        cls,
+        data: np.ndarray,
+        layout: Layout | str = Layout.ROW_MAJOR,
+        dtype=None,
     ) -> "DenseTensor":
         """Wrap (or copy into layout) an existing ndarray."""
-        return cls(data, layout)
+        return cls(data, layout, dtype=dtype)
 
     # -- basic properties --------------------------------------------------
 
@@ -138,7 +171,7 @@ class DenseTensor:
 
     @property
     def dtype(self) -> np.dtype:
-        """Element dtype (always float64 in this library)."""
+        """Element dtype (one of the supported float dtypes; float64 default)."""
         return self._data.dtype
 
     @property

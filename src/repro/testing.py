@@ -42,6 +42,28 @@ DEFAULT_CASES: tuple[tuple[tuple[int, ...], int, int], ...] = (
     ((3, 4, 5), 9, 1),
 )
 
+#: Degenerate geometries: zero-extent modes (empty iteration spaces,
+#: empty kernels, and k=0 contractions whose outputs must still be
+#: exactly zero).  Checked by default alongside :data:`DEFAULT_CASES`;
+#: kept separate so fixture grids pinned to DEFAULT_CASES stay stable.
+DEGENERATE_CASES: tuple[tuple[tuple[int, ...], int, int], ...] = (
+    ((0, 4, 5), 3, 1),
+    ((0, 4, 5), 2, 0),
+    ((3, 0, 5), 2, 0),
+    ((3, 0, 5), 2, 1),  # contracts the empty mode: k = 0, output nonempty
+    ((3, 4, 0), 2, 2),
+    ((0, 0, 3), 2, 2),
+    ((0,), 2, 0),
+    ((4, 0), 3, 1),
+)
+
+#: Comparison tolerances per element type, scaled to the unit roundoff.
+DTYPE_TOLERANCES: dict[str, tuple[float, float]] = {
+    "float64": (1e-10, 1e-12),
+    "float32": (1e-4, 1e-5),
+    "float16": (2e-2, 2e-2),
+}
+
 
 def ttm_reference(x: np.ndarray, u: np.ndarray, mode: int) -> np.ndarray:
     """The mode-n product by definition (paper equation 1).
@@ -55,11 +77,12 @@ def ttm_reference(x: np.ndarray, u: np.ndarray, mode: int) -> np.ndarray:
 
 def assert_ttm_consistent(
     ttm_callable: Callable[[DenseTensor, np.ndarray, int], object],
-    cases: Sequence[tuple[tuple[int, ...], int, int]] = DEFAULT_CASES,
+    cases: Sequence[tuple[tuple[int, ...], int, int]] | None = None,
     layouts: Sequence[Layout] = (ROW_MAJOR, COL_MAJOR),
     seed=0,
-    rtol: float = 1e-10,
-    atol: float = 1e-12,
+    rtol: float | None = None,
+    atol: float | None = None,
+    dtype: str = "float64",
 ) -> int:
     """Check *ttm_callable* against the reference on every case.
 
@@ -69,15 +92,30 @@ def assert_ttm_consistent(
     failing geometries, so one CI run diagnoses the full blast radius of
     a planner or executor regression.  Returns the number of cases
     checked.
+
+    *dtype* selects the element type both operands are generated in
+    (the reference is always accumulated in float64); when *rtol*/*atol*
+    are omitted they default to the :data:`DTYPE_TOLERANCES` entry for
+    that type.  *cases* defaults to :data:`DEFAULT_CASES` plus
+    :data:`DEGENERATE_CASES` (zero-extent geometries included).
     """
+    if cases is None:
+        cases = DEFAULT_CASES + DEGENERATE_CASES
+    np_dtype = np.dtype(dtype)
+    default_rtol, default_atol = DTYPE_TOLERANCES[np_dtype.name]
+    rtol = default_rtol if rtol is None else rtol
+    atol = default_atol if atol is None else atol
     rng = default_rng(seed)
     checked = 0
     failures: list[str] = []
     for layout in layouts:
         for shape, j, mode in cases:
-            x = DenseTensor(rng.standard_normal(shape), layout)
-            u = rng.standard_normal((j, shape[mode]))
-            label = f"shape={shape} J={j} mode={mode} layout={layout.name}"
+            x = DenseTensor(rng.standard_normal(shape), layout, dtype=np_dtype)
+            u = rng.standard_normal((j, shape[mode])).astype(np_dtype)
+            label = (
+                f"shape={shape} J={j} mode={mode} layout={layout.name} "
+                f"dtype={np_dtype.name}"
+            )
             try:
                 got = ttm_callable(x, u, mode)
             except Exception as exc:  # noqa: BLE001 - reported, not hidden
@@ -87,13 +125,17 @@ def assert_ttm_consistent(
             got_arr = np.asarray(
                 got.data if isinstance(got, DenseTensor) else got
             )
-            expect = ttm_reference(x.data, u, mode)
+            expect = ttm_reference(
+                x.data.astype(np.float64), u.astype(np.float64), mode
+            )
             if got_arr.shape != expect.shape:
                 failures.append(
                     f"{label}: shape mismatch "
                     f"{got_arr.shape} != {expect.shape}"
                 )
-            elif not np.allclose(got_arr, expect, rtol=rtol, atol=atol):
+            elif not np.allclose(
+                got_arr.astype(np.float64), expect, rtol=rtol, atol=atol
+            ):
                 worst = float(np.max(np.abs(got_arr - expect)))
                 failures.append(f"{label}: value mismatch, max abs error {worst:g}")
             checked += 1

@@ -27,6 +27,15 @@ class PlanError(ReproError, ValueError):
     """A TTM execution plan is malformed or inconsistent with its input."""
 
 
+class DtypeError(ReproError, TypeError):
+    """An element type is unsupported or inconsistent across operands.
+
+    Raised instead of silently upcasting: a hidden ``astype`` on a tensor
+    operand allocates a full copy, which is exactly the cost the in-place
+    algorithm exists to avoid.
+    """
+
+
 class BenchmarkError(ReproError, RuntimeError):
     """A benchmark profile is missing data required by the estimator."""
 

@@ -137,7 +137,7 @@ class TestDerivedGeometry:
 
     def test_cache_key(self):
         plan = make_plan()
-        assert plan.cache_key() == ((4, 5, 6, 7), 1, 3, ROW_MAJOR)
+        assert plan.cache_key() == ((4, 5, 6, 7), 1, 3, ROW_MAJOR, "float64")
 
     def test_plans_are_hashable(self):
         assert len({make_plan(), make_plan()}) == 1

@@ -34,6 +34,12 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 #: the PTH rule to actually split P_L/P_C.
 THREAD_BUDGETS = (1, 4)
 
+#: Element types pinned by fixtures.  float64 keeps the original
+#: ``plans_t{N}.json`` files byte-identical; float32 halves every byte
+#: threshold (MSTH/MLTH window, PTH split) and gets its own fixture
+#: files, so planner drift is pinned per dtype.
+DTYPES = ("float64", "float32")
+
 #: The decision fields a fixture pins (everything the tuner chooses).
 DECISION_FIELDS = (
     "strategy",
@@ -47,8 +53,9 @@ DECISION_FIELDS = (
 )
 
 
-def golden_path(threads: int) -> Path:
-    return GOLDEN_DIR / f"plans_t{threads}.json"
+def golden_path(threads: int, dtype: str = "float64") -> Path:
+    suffix = "" if dtype == "float64" else f"_{dtype}"
+    return GOLDEN_DIR / f"plans_t{threads}{suffix}.json"
 
 
 def decision_key(shape, mode, j, layout, threads) -> str:
@@ -69,27 +76,30 @@ def plan_decision(plan) -> dict:
     }
 
 
-def compute_decisions(threads: int) -> dict[str, dict]:
+def compute_decisions(threads: int, dtype: str = "float64") -> dict[str, dict]:
     """What the planner decides today for the whole golden grid.
 
     Deterministic: the synthetic (roofline-model) GEMM profile and the
     platform preset involve no measurement, so the same geometry always
-    maps to the same plan on every host.
+    maps to the same plan on every host.  The dtype lives in the fixture
+    *filename*, not the key, so float64 fixtures predate the dtype axis
+    unchanged.
     """
     lib = InTensLi(max_threads=threads)
     decisions: dict[str, dict] = {}
     for layout in (ROW_MAJOR, COL_MAJOR):
         for shape, j, mode in DEFAULT_CASES:
-            plan = lib.plan(shape, mode, j, layout)
+            plan = lib.plan(shape, mode, j, layout, dtype=dtype)
             key = decision_key(shape, mode, j, layout, threads)
             decisions[key] = plan_decision(plan)
     return decisions
 
 
+@pytest.mark.parametrize("dtype", DTYPES)
 @pytest.mark.parametrize("threads", THREAD_BUDGETS)
-def test_golden_plans_match_fixture(threads, request):
-    decisions = compute_decisions(threads)
-    path = golden_path(threads)
+def test_golden_plans_match_fixture(threads, dtype, request):
+    decisions = compute_decisions(threads, dtype)
+    path = golden_path(threads, dtype)
     if request.config.getoption("--regen-golden"):
         GOLDEN_DIR.mkdir(exist_ok=True)
         path.write_text(
@@ -125,12 +135,13 @@ def test_golden_plans_match_fixture(threads, request):
         )
 
 
+@pytest.mark.parametrize("dtype", DTYPES)
 @pytest.mark.parametrize("threads", THREAD_BUDGETS)
-def test_golden_fixture_covers_every_geometry(threads, request):
+def test_golden_fixture_covers_every_geometry(threads, dtype, request):
     """Each fixture has exactly one entry per DEFAULT_CASES x layout."""
     if request.config.getoption("--regen-golden"):
         pytest.skip("fixtures are being regenerated")
-    path = golden_path(threads)
+    path = golden_path(threads, dtype)
     assert path.exists(), f"golden fixture {path} is missing"
     golden = json.loads(path.read_text())
     expected = {

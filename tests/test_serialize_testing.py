@@ -13,7 +13,12 @@ from repro.core.serialize import (
 )
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
-from repro.testing import DEFAULT_CASES, assert_ttm_consistent, ttm_reference
+from repro.testing import (
+    DEFAULT_CASES,
+    DEGENERATE_CASES,
+    assert_ttm_consistent,
+    ttm_reference,
+)
 from repro.util.errors import PlanError
 
 
@@ -135,9 +140,13 @@ class TestPublicOracle:
             ttm_reference(x, u, 1), np.einsum("jk,ikl->ijl", u, x)
         )
 
-    def test_assert_consistent_passes_for_inplace(self):
-        checked = assert_ttm_consistent(ttm_inplace)
-        assert checked == 2 * len(DEFAULT_CASES)
+    def test_assert_consistent_passes_for_inplace(self, ttm_dtype):
+        checked = assert_ttm_consistent(ttm_inplace, dtype=ttm_dtype)
+        assert checked == 2 * (len(DEFAULT_CASES) + len(DEGENERATE_CASES))
+
+    def test_assert_consistent_passes_for_inplace_float32(self):
+        checked = assert_ttm_consistent(ttm_inplace, dtype="float32")
+        assert checked == 2 * (len(DEFAULT_CASES) + len(DEGENERATE_CASES))
 
     def test_assert_consistent_catches_wrong_values(self):
         def broken(x, u, mode):
