@@ -46,7 +46,7 @@ from repro.perf.profiler import active_hot_counters
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import Layout
 from repro.tensor.views import BatchViewFactory, MatrixViewFactory
-from repro.util.dtypes import DEFAULT_DTYPE, canonical_dtype
+from repro.util.dtypes import DEFAULT_DTYPE, canonical_dtype, is_supported_dtype
 from repro.util.errors import DtypeError, PlanError, ShapeError
 from repro.util.validation import check_mode, check_positive_int
 
@@ -115,7 +115,25 @@ def _check_inputs(x: DenseTensor, u: np.ndarray, plan: TtmPlan) -> np.ndarray:
             f"x must be a DenseTensor, got {type(x).__name__}; wrap ndarrays "
             "so the storage layout is explicit"
         )
-    u = np.asarray(u, dtype=np.float64)
+    # Dtype policy: reject or preserve, never copy.  A silent
+    # ``asarray(u, dtype=float64)`` here used to upcast-and-copy float32
+    # operands — the exact allocation cost this library exists to avoid.
+    u = np.asarray(u)
+    if x.data.dtype != plan.np_dtype:
+        raise DtypeError(
+            f"plan was built for dtype {plan.dtype}, but x is "
+            f"{x.data.dtype.name}; re-plan for the tensor's dtype"
+        )
+    if u.dtype != plan.np_dtype:
+        if u.dtype.kind == "f" and is_supported_dtype(u.dtype):
+            raise DtypeError(
+                f"U has dtype {u.dtype.name} but the plan (and x) are "
+                f"{plan.dtype}; cast U explicitly — mixing float widths "
+                "would silently change the result's precision"
+            )
+        # Non-float input (ints, bools, Python lists): materialize in the
+        # plan dtype.  This is a J x I_n matrix, negligible next to X.
+        u = np.asarray(u, dtype=plan.np_dtype)
     if u.ndim != 2:
         raise ShapeError(f"U must be 2-D (J x I_n), got {u.ndim}-D")
     if x.shape != plan.shape or x.layout is not plan.layout:
@@ -376,14 +394,14 @@ def ttm_inplace(
             "so the storage layout is explicit"
         )
     if transpose_u:
-        u_arr = np.asarray(u, dtype=np.float64)
+        u_arr = np.asarray(u)
         if u_arr.ndim != 2:
             raise ShapeError(f"U must be 2-D (I_n x J), got {u_arr.ndim}-D")
         u = u_arr.T  # a view; BLAS-legal (unit stride in one dimension)
     if plan is None:
         if mode is None:
             raise PlanError("ttm_inplace needs a plan or a mode")
-        u_arr = np.asarray(u, dtype=np.float64)
+        u_arr = np.asarray(u)
         if u_arr.ndim != 2:
             raise ShapeError(f"U must be 2-D (J x I_n), got {u_arr.ndim}-D")
         plan = default_plan(

@@ -20,6 +20,7 @@ from repro.sparse import SparseTensor
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
 from repro.tensor.unfold import fold, unfold
+from repro.testing import DTYPE_TOLERANCES
 from repro.util.errors import PlanError
 from tests.helpers import ttm_oracle
 
@@ -57,7 +58,33 @@ def test_fuzz_ttm_pipelines(shape, n_steps, data):
 
 @settings(max_examples=40, deadline=None)
 @given(
-    shape=st.lists(st.integers(1, 5), min_size=1, max_size=5),
+    shape=st.lists(st.integers(0, 5), min_size=1, max_size=4),
+    data=st.data(),
+)
+def test_fuzz_dtype_and_degenerate_geometry(shape, data):
+    """Random element types (incl. float16's blocked-kernel fallback) and
+    zero-extent shapes preserve dtype and match the float64 oracle."""
+    dtype = data.draw(st.sampled_from(["float64", "float32", "float16"]))
+    layout = data.draw(st.sampled_from([ROW_MAJOR, COL_MAJOR]))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+    mode = data.draw(st.integers(0, len(shape) - 1))
+    j = data.draw(st.integers(1, 5))
+    x = DenseTensor(rng.standard_normal(shape), layout, dtype=dtype)
+    u = rng.standard_normal((j, shape[mode])).astype(dtype)
+    y = ttm_inplace(x, u, mode)
+    assert y.dtype == np.dtype(dtype)
+    expect = ttm_oracle(x.data.astype(np.float64), u.astype(np.float64), mode)
+    assert y.shape == expect.shape
+    rtol, atol = DTYPE_TOLERANCES[dtype]
+    scale = max(1.0, float(np.abs(expect).max())) if expect.size else 1.0
+    assert np.allclose(
+        y.data.astype(np.float64), expect, rtol=rtol, atol=atol * scale
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    shape=st.lists(st.integers(0, 5), min_size=1, max_size=5),
     data=st.data(),
 )
 def test_fuzz_unfold_fold_layout_roundtrips(shape, data):
