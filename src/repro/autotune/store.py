@@ -35,14 +35,24 @@ import json
 import logging
 import os
 import tempfile
+import time
 
 from repro.core.serialize import cache_header, check_cache_header
+from repro.resilience.faults import active_faults, record_degradation
 from repro.util.errors import StoreCorruptError
 
 log = logging.getLogger("repro.autotune")
 
 #: Environment variable overriding the default store location.
 CACHE_PATH_ENV = "REPRO_PLAN_CACHE"
+
+#: Read attempts before a transient OSError is surfaced (NFS hiccups,
+#: EINTR-ish conditions); a missing file never retries.
+_RETRY_ATTEMPTS = 3
+
+#: First backoff sleep; doubles per retry.  Module-level so tests can
+#: patch it to zero.
+_RETRY_BASE_SECONDS = 0.05
 
 
 def default_cache_path() -> str:
@@ -79,17 +89,13 @@ class PlanStore:
 
         Raises :class:`StoreCorruptError`, :class:`SchemaMismatchError`
         or :class:`FingerprintMismatchError`; never returns a partially
-        trusted payload.
+        trusted payload.  Transient ``OSError`` reads (shared
+        filesystems, EINTR-ish conditions) are retried with exponential
+        backoff before giving up; a missing file returns ``{}`` at once.
         """
-        try:
-            with open(self.path) as fh:
-                text = fh.read()
-        except FileNotFoundError:
+        text = self._read_with_retries()
+        if text is None:
             return {}
-        except OSError as exc:
-            raise StoreCorruptError(
-                f"cannot read plan store {self.path}: {exc}"
-            ) from exc
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
@@ -109,6 +115,47 @@ class PlanStore:
                     f"plan store {self.path} entry {key!r} is malformed"
                 )
         return entries
+
+    def _read_with_retries(self) -> str | None:
+        """The raw store text, or None for a missing file.
+
+        A cache read failing transiently should not cost the process its
+        warm cache: retry up to :data:`_RETRY_ATTEMPTS` times, doubling
+        the backoff each round and counting every retry
+        (``store_retries``), and only then raise
+        :class:`StoreCorruptError` — which :class:`repro.autotune.cache
+        .PlanCache` already converts into a cold-cache restart.
+        """
+        last_exc: OSError | None = None
+        for attempt in range(_RETRY_ATTEMPTS):
+            try:
+                faults = active_faults()
+                if faults is not None:
+                    faults.check("store-read-error", path=self.path)
+                with open(self.path) as fh:
+                    return fh.read()
+            except FileNotFoundError:
+                return None
+            except OSError as exc:
+                last_exc = exc
+                if attempt + 1 < _RETRY_ATTEMPTS:
+                    delay = _RETRY_BASE_SECONDS * (2 ** attempt)
+                    log.warning(
+                        "transient error reading plan store %s (%s); "
+                        "retry %d/%d in %.2fs",
+                        self.path, exc, attempt + 1,
+                        _RETRY_ATTEMPTS - 1, delay,
+                    )
+                    record_degradation(
+                        "store_retries",
+                        store_retry=attempt + 1,
+                        store_error=type(exc).__name__,
+                    )
+                    time.sleep(delay)
+        raise StoreCorruptError(
+            f"cannot read plan store {self.path} after "
+            f"{_RETRY_ATTEMPTS} attempts: {last_exc}"
+        ) from last_exc
 
     def save(self, entries: dict) -> None:
         """Atomically replace the store file with *entries*."""

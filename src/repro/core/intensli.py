@@ -15,6 +15,7 @@ The top-level :func:`repro.ttm` wraps a module-wide default instance.
 
 from __future__ import annotations
 
+import logging
 from typing import Sequence
 
 import numpy as np
@@ -32,11 +33,16 @@ from repro.gemm.bench import (
     synthetic_profile,
 )
 from repro.obs.tracer import active_tracer
+from repro.resilience.fallback import recoverable
+from repro.resilience.faults import active_faults, record_degradation
+from repro.resilience.memory import guard_memory
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import Layout
 from repro.util.dtypes import DEFAULT_DTYPE, canonical_dtype
 from repro.util.errors import DtypeError, ShapeError
-from repro.util.validation import check_positive_int
+from repro.util.validation import check_finite_result, check_positive_int
+
+log = logging.getLogger("repro.core")
 
 
 def _match_u_dtype(u, x_dtype: np.dtype) -> np.ndarray:
@@ -297,11 +303,19 @@ class InTensLi:
         mode: int,
         out: DenseTensor | None = None,
         transpose_u: bool = False,
+        check_finite: bool = False,
+        allow_replan: bool = False,
     ) -> DenseTensor:
         """Compute ``Y = X x_mode U`` with the input-adaptive plan.
 
         ``transpose_u=True`` computes ``X x_mode U^T`` for *u* of shape
         ``(I_n, J)`` via a transpose view (Tensor Toolbox 't' flag).
+        ``check_finite=True`` validates the result for NaN/Inf after
+        execution and raises :class:`~repro.util.errors.NumericError`
+        naming the kernel when any appear.  ``allow_replan=True`` lets
+        the memory pre-flight guard swap in a lower-degree plan (smaller
+        kernel working set) instead of raising
+        :class:`~repro.util.errors.ResourceError` under memory pressure.
         """
         if not isinstance(x, DenseTensor):
             x = DenseTensor(np.asarray(x))
@@ -315,7 +329,10 @@ class InTensLi:
             plan = self.plan(
                 x.shape, mode, u.shape[0], x.layout, dtype=x.data.dtype
             )
-            return self.execute(plan, x, u, out=out)
+            return self.execute(
+                plan, x, u, out=out,
+                check_finite=check_finite, allow_replan=allow_replan,
+            )
         with tracer.span(
             "ttm",
             shape=list(x.shape),
@@ -328,7 +345,10 @@ class InTensLi:
             plan = self.plan(
                 x.shape, mode, u.shape[0], x.layout, dtype=x.data.dtype
             )
-            return self.execute(plan, x, u, out=out)
+            return self.execute(
+                plan, x, u, out=out,
+                check_finite=check_finite, allow_replan=allow_replan,
+            )
 
     def execute(
         self,
@@ -336,10 +356,15 @@ class InTensLi:
         x: DenseTensor,
         u: np.ndarray,
         out: DenseTensor | None = None,
+        check_finite: bool = False,
+        allow_replan: bool = False,
     ) -> DenseTensor:
         """Run a specific plan (bypassing estimation) on real data."""
         if self.executor == "interpreted":
-            return ttm_inplace(x, u, plan=plan, out=out)
+            return ttm_inplace(
+                x, u, plan=plan, out=out,
+                check_finite=check_finite, allow_replan=allow_replan,
+            )
         if x.shape != plan.shape or x.layout is not plan.layout:
             raise ShapeError(
                 f"plan is for {plan.shape}/{plan.layout.name}, tensor is "
@@ -355,6 +380,13 @@ class InTensLi:
             raise ShapeError(
                 f"U shape {u.shape} != (J={plan.j}, I_n={plan.i_n})"
             )
+        # Pre-flight the allocation before making it: memory pressure
+        # becomes a typed ResourceError (or a lower-degree replan) rather
+        # than an OOM kill.  The replanned plan keeps the signature, so
+        # the validations above still hold for it.
+        plan = guard_memory(
+            plan, allocate_out=out is None, allow_replan=allow_replan
+        )
         if out is None:
             out = DenseTensor.empty(plan.out_shape, plan.layout,
                                     dtype=plan.dtype)
@@ -370,19 +402,52 @@ class InTensLi:
             )
         fn = compile_plan(plan)
         tracer = active_tracer()
-        if tracer.enabled:
-            with tracer.span(
-                "execute",
-                executor="generated",
-                kernel=plan.kernel,
-                degree=plan.degree,
-                batch_modes=list(plan.batch_modes),
-                dtype=plan.dtype,
-                flops=plan.total_flops,
-            ):
+        try:
+            faults = active_faults()
+            if faults is not None:
+                # Generated code may compile down to a raw np.matmul with
+                # no gemm-layer checkpoint inside, so the injection point
+                # for the whole compiled kernel sits at its dispatch.
+                faults.check("kernel-raise", kernel=plan.kernel,
+                             generated=True)
+            if tracer.enabled:
+                with tracer.span(
+                    "execute",
+                    executor="generated",
+                    kernel=plan.kernel,
+                    degree=plan.degree,
+                    batch_modes=list(plan.batch_modes),
+                    dtype=plan.dtype,
+                    flops=plan.total_flops,
+                ):
+                    fn(x.data, u, out.data)
+            else:
                 fn(x.data, u, out.data)
-        else:
-            fn(x.data, u, out.data)
+        except BaseException as exc:
+            # Generated code dispatches kernels directly (no fallback
+            # chain inside the compiled loop nest), so a recoverable
+            # kernel failure degrades one level up: rerun through the
+            # interpreted executor, whose KernelChain retries tier by
+            # tier.  Overwrite mode rewrites every element, so a partial
+            # write from the failed run cannot survive.
+            if not recoverable(exc):
+                raise
+            log.warning(
+                "generated executor failed (%s: %s); degrading to the "
+                "interpreted executor", type(exc).__name__, exc,
+            )
+            record_degradation(
+                "kernel_fallbacks",
+                degraded=True,
+                degraded_from="generated",
+                degraded_to="interpreted",
+                degraded_error=type(exc).__name__,
+            )
+            return ttm_inplace(
+                x, u, plan=plan, out=out, check_finite=check_finite
+            )
+        if check_finite:
+            check_finite_result(out.data, kernel=plan.kernel, context="ttm")
         return out
 
 
@@ -402,6 +467,11 @@ def ttm(
     u: np.ndarray,
     mode: int,
     out: DenseTensor | None = None,
+    check_finite: bool = False,
+    allow_replan: bool = False,
 ) -> DenseTensor:
     """Input-adaptive in-place TTM using the default :class:`InTensLi`."""
-    return default_intensli().ttm(x, u, mode, out=out)
+    return default_intensli().ttm(
+        x, u, mode, out=out,
+        check_finite=check_finite, allow_replan=allow_replan,
+    )

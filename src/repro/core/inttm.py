@@ -37,18 +37,25 @@ import time
 import numpy as np
 
 from repro.core.plan import Strategy, TtmPlan
-from repro.gemm.batched import gemm_batched
-from repro.gemm.interface import resolve_kernel
-from repro.gemm.threaded import gemm_threaded
 from repro.obs.tracer import active_tracer
 from repro.parallel.parfor import parfor
 from repro.perf.profiler import active_hot_counters
+from repro.resilience.fallback import (
+    KernelChain,
+    build_batched_tiers,
+    build_gemm_tiers,
+)
+from repro.resilience.memory import guard_memory
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import Layout
 from repro.tensor.views import BatchViewFactory, MatrixViewFactory
 from repro.util.dtypes import DEFAULT_DTYPE, canonical_dtype, is_supported_dtype
 from repro.util.errors import DtypeError, PlanError, ShapeError
-from repro.util.validation import check_mode, check_positive_int
+from repro.util.validation import (
+    check_finite_result,
+    check_mode,
+    check_positive_int,
+)
 
 
 def default_plan(
@@ -167,45 +174,22 @@ def _prepare_out(plan: TtmPlan, out: DenseTensor | None) -> DenseTensor:
     return out
 
 
-def _kernel_runner(plan: TtmPlan, accumulate: bool = False):
-    """A closure dispatching the inner GEMM per the plan's kernel/threads.
+def _kernel_runner(plan: TtmPlan, accumulate: bool = False) -> KernelChain:
+    """A degrading dispatcher for the inner GEMM per the plan's kernel.
 
-    The kernel callable is resolved from the registry *once* here; loop
-    bodies call it directly without any per-iteration dispatch overhead.
+    The tier list is resolved from the registry *once* here; loop bodies
+    call the chain directly without any per-iteration registry lookups.
+    When the planned kernel raises a recoverable error the chain retries
+    the multiply one tier down (``blas -> blocked -> reference``) and
+    stays degraded for the rest of this call — see
+    :mod:`repro.resilience.fallback`.
     """
-    if plan.kernel_threads > 1:
-        inner = "auto" if plan.kernel == "threaded" else plan.kernel
-        threads = plan.kernel_threads
-
-        def run(a, b, out):
-            gemm_threaded(a, b, out=out, threads=threads, kernel=inner,
-                          accumulate=accumulate)
-
-        return run
-    impl = resolve_kernel(plan.kernel, plan.dtype)
-
-    def run(a, b, out):
-        impl(a, b, out=out, accumulate=accumulate)
-
-    return run
+    return KernelChain(build_gemm_tiers(plan), accumulate=accumulate)
 
 
-def _batched_runner(plan: TtmPlan, accumulate: bool = False):
+def _batched_runner(plan: TtmPlan, accumulate: bool = False) -> KernelChain:
     """Like :func:`_kernel_runner`, but dispatching whole batches."""
-    if plan.kernel_threads > 1:
-        threads = plan.kernel_threads
-
-        def run(a, b, out):
-            gemm_batched(a, b, out=out, accumulate=accumulate,
-                         kernel="threaded", threads=threads)
-
-        return run
-    kernel = plan.kernel
-
-    def run(a, b, out):
-        gemm_batched(a, b, out=out, accumulate=accumulate, kernel=kernel)
-
-    return run
+    return KernelChain(build_batched_tiers(plan), accumulate=accumulate)
 
 
 def _execute_batched(x, u, ut, y, plan: TtmPlan, accumulate: bool) -> None:
@@ -374,6 +358,8 @@ def ttm_inplace(
     out: DenseTensor | None = None,
     transpose_u: bool = False,
     accumulate: bool = False,
+    check_finite: bool = False,
+    allow_replan: bool = False,
 ) -> DenseTensor:
     """Compute ``Y = X x_mode U`` in place of a preallocated output.
 
@@ -384,6 +370,11 @@ def ttm_inplace(
     copy), which is what Tucker's factor projections want.  With
     ``accumulate=True`` (requires *out*) the product is *added* into the
     output — GEMM's beta=1, useful for summing partial contractions.
+    With ``check_finite=True`` the result is validated for NaN/Inf after
+    execution (:class:`~repro.util.errors.NumericError` on failure).
+    ``allow_replan=True`` lets the memory pre-flight guard substitute a
+    lower-degree plan instead of raising
+    :class:`~repro.util.errors.ResourceError` under memory pressure.
     Returns the output tensor (newly allocated when *out* is None).
     """
     if accumulate and out is None:
@@ -408,6 +399,12 @@ def ttm_inplace(
             x.shape, mode, u_arr.shape[0], x.layout, dtype=x.data.dtype.name
         )
     u = _check_inputs(x, u, plan)
+    # Pre-flight: size the allocation before making it, so memory
+    # pressure surfaces as a typed error (or a lower-degree replan)
+    # instead of an OOM kill mid-write.
+    plan = guard_memory(
+        plan, allocate_out=out is None, allow_replan=allow_replan
+    )
     y = _prepare_out(plan, out)
     ut = u.T  # view; used by the backward kernel form
 
@@ -430,9 +427,11 @@ def ttm_inplace(
                 _execute_batched(x, u, ut, y, plan, accumulate)
             else:
                 _execute_looped(x, u, ut, y, plan, accumulate)
-        return y
-    if plan.batch_modes:
-        _execute_batched(x, u, ut, y, plan, accumulate)
     else:
-        _execute_looped(x, u, ut, y, plan, accumulate)
+        if plan.batch_modes:
+            _execute_batched(x, u, ut, y, plan, accumulate)
+        else:
+            _execute_looped(x, u, ut, y, plan, accumulate)
+    if check_finite:
+        check_finite_result(y.data, kernel=plan.kernel, context="ttm")
     return y

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.gemm.interface import blas_legal, gemm
 from repro.obs.tracer import active_tracer
+from repro.resilience.faults import active_faults
 from repro.util.dtypes import result_dtype
 from repro.util.errors import ShapeError, StrideError
 
@@ -156,6 +157,12 @@ def _gemm_batched_run(a, b, out, batch, m, n, accumulate, kernel, kwargs):
     # slice, where the 2-D dispatch applies its dtype capability fallback.
     legal = strides_legal and blas_dtype_legal(result_dtype(a, b))
     if kernel in ("blas", "auto") and legal and not accumulate and not kwargs:
+        faults = active_faults()
+        if faults is not None:
+            # The matmul fast path bypasses the 2-D kernels (and their
+            # checkpoints); cover it here so batched dispatches are as
+            # injectable as per-slice ones.  Before any write to out.
+            faults.check("kernel-raise", kernel=kernel, batched=True)
         if out is None:
             return np.matmul(a, b)
         np.matmul(a, b, out=out)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gemm.interface import blas_legal
+from repro.resilience.faults import active_faults
 from repro.util.errors import ShapeError, StrideError
 
 
@@ -39,6 +40,11 @@ def gemm_blas(
     When *out* is given it is written through in place (no reallocation of
     the destination), which the in-place TTM depends on.
     """
+    faults = active_faults()
+    if faults is not None:
+        # Before validation and before any write: an injected failure
+        # must look like a kernel that never started.
+        faults.check("kernel-raise", kernel="blas")
     _check_legal("a", a)
     _check_legal("b", b)
     m, k = a.shape

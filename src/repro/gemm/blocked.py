@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.obs.tracer import active_tracer
+from repro.resilience.faults import active_faults
 from repro.util.dtypes import result_dtype
 from repro.util.errors import ShapeError
 
@@ -72,6 +73,11 @@ def gemm_blocked(
 
     Returns *out* (allocated C-contiguous when None).
     """
+    faults = active_faults()
+    if faults is not None:
+        # Before any write to out: an injected failure must look like a
+        # kernel that never started.
+        faults.check("kernel-raise", kernel="blocked")
     a = np.asarray(a)
     b = np.asarray(b)
     dt = result_dtype(a, b)

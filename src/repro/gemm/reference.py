@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.resilience.faults import active_faults
 from repro.util.dtypes import result_dtype
 from repro.util.errors import ShapeError
 
@@ -25,6 +26,11 @@ def gemm_reference(
 
     Accepts arbitrary strides.  Returns *out* (allocating it when None).
     """
+    faults = active_faults()
+    if faults is not None:
+        # Before any write to out: an injected failure must look like a
+        # kernel that never started.
+        faults.check("kernel-raise", kernel="reference")
     a = np.asarray(a)
     b = np.asarray(b)
     if a.ndim != 2 or b.ndim != 2:

@@ -17,23 +17,58 @@ Two properties matter for the hot path and are guaranteed here:
   parallel regions; a fresh ``ThreadPoolExecutor`` per call would pay
   thread spawn/join on every TTM.  Executors are cached per worker count
   in a module-level pool registry and reused across calls.
+
+The parallel region is **supervised** (DESIGN.md §10).  Dispatch can hit
+three failure modes that would otherwise hang or crash the whole TTM,
+and each has a bounded response:
+
+* **A torn-down pool.**  ``get_pool`` can return an executor that a
+  concurrent ``shutdown_pools`` is destroying; ``submit`` then raises
+  ``RuntimeError``.  The stale entry is evicted, a replacement pool is
+  tried once (``pool_replacements`` counter), and if that fails too the
+  block runs serially (``serial_degradations``) — slower, never wrong.
+  If *some* workers were submitted before the pool died, they alone
+  drain the shared iterator: any nonzero worker count completes all the
+  work, so a partial team is not a failure at all.
+* **A stuck worker.**  ``future.result()`` waits behind a per-call
+  deadline (the *timeout* argument, default ``$REPRO_PARFOR_TIMEOUT``);
+  on expiry the suspect pool is evicted — its threads may be wedged
+  forever and must not be handed to the next caller — and a typed
+  :class:`~repro.util.errors.DeadlineError` is raised
+  (``watchdog_timeouts`` counter) instead of blocking eternally.
+* **Process exit.**  ``shutdown_pools`` is ``atexit``-registered, so
+  persistent workers never stop the interpreter from exiting cleanly.
 """
 
 from __future__ import annotations
 
+import atexit
 import itertools
+import logging
 import math
+import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from typing import Callable, Sequence
 
 from repro.obs.tracer import active_tracer
+from repro.resilience.faults import active_faults, record_degradation
+from repro.util.errors import DeadlineError
 from repro.util.validation import check_positive_int
+
+log = logging.getLogger("repro.parallel")
 
 #: Upper bound on indices a worker pulls per trip to the shared iterator:
 #: large enough to amortize the lock, small enough to bound memory and
 #: keep the tail balanced.
 _BLOCK_CAP = 1024
+
+#: Environment variable supplying the default watchdog deadline, in
+#: seconds, for every parfor call that does not pass an explicit
+#: ``timeout``.  Unset, empty, or <= 0 means unsupervised (wait forever).
+PARFOR_TIMEOUT_ENV = "REPRO_PARFOR_TIMEOUT"
 
 _POOLS: dict[int, ThreadPoolExecutor] = {}
 _POOLS_LOCK = threading.Lock()
@@ -68,7 +103,11 @@ def active_pool_count() -> int:
 
 
 def shutdown_pools() -> None:
-    """Tear down every persistent executor (tests and clean shutdown)."""
+    """Tear down every persistent executor (tests and clean shutdown).
+
+    Registered with :mod:`atexit` at import, so long-lived processes
+    exit without waiting on (or leaking) persistent worker threads.
+    """
     with _POOLS_LOCK:
         pools = list(_POOLS.values())
         _POOLS.clear()
@@ -76,10 +115,41 @@ def shutdown_pools() -> None:
         pool.shutdown(wait=True)
 
 
+atexit.register(shutdown_pools)
+
+
+def _evict_pool(workers: int, pool: ThreadPoolExecutor) -> None:
+    """Drop *pool* from the registry (if still registered) and retire it.
+
+    ``wait=False``: the caller may still hold live futures on this pool
+    (a partial team) or suspect its threads are wedged (a watchdog
+    expiry); either way nobody can afford to block on it here.  Pending
+    futures keep running to completion — shutdown only refuses new work.
+    """
+    with _POOLS_LOCK:
+        if _POOLS.get(workers) is pool:
+            del _POOLS[workers]
+    pool.shutdown(wait=False)
+
+
+def default_timeout() -> float | None:
+    """The watchdog deadline from ``$REPRO_PARFOR_TIMEOUT`` (None = off)."""
+    raw = os.environ.get(PARFOR_TIMEOUT_ENV)
+    if not raw:
+        return None
+    try:
+        seconds = float(raw)
+    except ValueError:
+        log.warning("ignoring non-numeric %s=%r", PARFOR_TIMEOUT_ENV, raw)
+        return None
+    return seconds if seconds > 0 else None
+
+
 def parfor(
     extents: Sequence[int],
     body: Callable[[tuple[int, ...]], None],
     threads: int = 1,
+    timeout: float | None = None,
 ) -> int:
     """Run ``body(index)`` for every index tuple; returns iteration count.
 
@@ -88,6 +158,11 @@ def parfor(
     persistent workers drain the lazily flattened space in contiguous
     blocks; the first exception raised by any body propagates to the
     caller (remaining workers stop pulling new blocks).
+
+    *timeout* is the supervision deadline in seconds for the whole
+    parallel region (default from ``$REPRO_PARFOR_TIMEOUT``); a region
+    that outlives it raises :class:`~repro.util.errors.DeadlineError`
+    instead of hanging on a stuck worker.
     """
     check_positive_int(threads, "threads")
     total = math.prod(int(e) for e in extents) if extents else 1
@@ -101,8 +176,8 @@ def parfor(
             iterations=total,
             threads=min(threads, total),
         ):
-            return _parfor_run(extents, body, threads, total)
-    return _parfor_run(extents, body, threads, total)
+            return _parfor_run(extents, body, threads, total, timeout)
+    return _parfor_run(extents, body, threads, total, timeout)
 
 
 def _parfor_run(
@@ -110,6 +185,7 @@ def _parfor_run(
     body: Callable[[tuple[int, ...]], None],
     threads: int,
     total: int,
+    timeout: float | None = None,
 ) -> int:
     if threads == 1 or total == 1:
         for index in iter_index_space(extents):
@@ -121,6 +197,7 @@ def _parfor_run(
     indices = iter_index_space(extents)
     feed_lock = threading.Lock()
     failed = threading.Event()
+    faults = active_faults()
 
     def worker() -> None:
         while not failed.is_set():
@@ -129,14 +206,90 @@ def _parfor_run(
             if not batch:
                 return
             try:
+                if faults is not None:
+                    faults.check("slow-body")
                 for index in batch:
                     body(index)
             except BaseException:
                 failed.set()
                 raise
 
-    pool = get_pool(n_workers)
-    futures = [pool.submit(worker) for _ in range(n_workers)]
+    pool, futures = _supervised_submit(n_workers, worker, faults)
+    if not futures:
+        # Two pools died under us before any worker started: the shared
+        # iterator is untouched, so the serial loop is exactly the work.
+        log.warning(
+            "parfor degrading to serial execution after repeated pool "
+            "failures (%d iterations)", total,
+        )
+        record_degradation("serial_degradations", serial_degraded=True)
+        for index in indices:
+            body(index)
+        return total
+
+    if timeout is None:
+        timeout = default_timeout()
+    deadline = None if timeout is None else time.monotonic() + timeout
     for future in futures:
-        future.result()  # re-raises the first worker exception
+        if deadline is None:
+            future.result()  # re-raises the first worker exception
+            continue
+        try:
+            future.result(timeout=max(0.0, deadline - time.monotonic()))
+        except _FuturesTimeout:
+            failed.set()  # live workers stop pulling new blocks
+            for pending in futures:
+                pending.cancel()
+            # The pool may hold a thread wedged forever; never hand it
+            # to the next caller.
+            _evict_pool(n_workers, pool)
+            record_degradation(
+                "watchdog_timeouts", watchdog_timeout=True,
+                timeout_seconds=timeout,
+            )
+            raise DeadlineError(
+                f"parfor exceeded its {timeout:.3g}s watchdog deadline "
+                f"({total} iterations over {n_workers} workers); the "
+                "worker pool was retired. Raise the timeout (argument or "
+                f"${PARFOR_TIMEOUT_ENV}) if the workload is legitimately "
+                "this slow"
+            ) from None
     return total
+
+
+def _supervised_submit(n_workers, worker, faults):
+    """Submit the worker team, surviving a pool torn down concurrently.
+
+    Returns ``(pool, futures)``.  A full or partial team is success —
+    the shared iterator lets any nonzero number of workers finish all
+    the work.  An empty team after one replacement attempt tells the
+    caller to degrade to serial execution.
+    """
+    for attempt in range(2):
+        pool = get_pool(n_workers)
+        futures = []
+        try:
+            if faults is not None:
+                faults.check("worker-death")
+            for _ in range(n_workers):
+                futures.append(pool.submit(worker))
+            return pool, futures
+        except RuntimeError as exc:
+            # The registry handed us an executor that shutdown_pools (or
+            # an injected fault) killed in flight: evict it so nobody
+            # else trips on it.
+            _evict_pool(n_workers, pool)
+            record_degradation(
+                "pool_replacements", pool_replaced=True,
+                submit_error=type(exc).__name__,
+            )
+            log.warning(
+                "parfor pool for %d workers rejected submit (%s: %s); "
+                "%s", n_workers, type(exc).__name__, exc,
+                "retrying with a replacement pool" if attempt == 0
+                and not futures else "continuing with the partial team"
+                if futures else "degrading to serial execution",
+            )
+            if futures:
+                return pool, futures
+    return pool, []

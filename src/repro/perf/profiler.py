@@ -140,6 +140,12 @@ class HotCounters:
     plan_cache_misses: int = 0
     plan_cache_promotions: int = 0
     plan_cache_invalidations: int = 0
+    kernel_fallbacks: int = 0
+    pool_replacements: int = 0
+    serial_degradations: int = 0
+    watchdog_timeouts: int = 0
+    store_retries: int = 0
+    memory_replans: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -191,6 +197,29 @@ class HotCounters:
         with self._lock:
             setattr(self, field_name, getattr(self, field_name) + n)
 
+    #: Degradation events the resilience layer may report (each is a field).
+    RESILIENCE_EVENTS = (
+        "kernel_fallbacks",
+        "pool_replacements",
+        "serial_degradations",
+        "watchdog_timeouts",
+        "store_retries",
+        "memory_replans",
+    )
+
+    def count_resilience(self, event: str, n: int = 1) -> None:
+        """Bump one of the resilience degradation tallies by name.
+
+        *event* is one of :data:`RESILIENCE_EVENTS` — the vocabulary the
+        resilience layer (:mod:`repro.resilience`) and the supervised
+        ``parfor`` use, so every degradation path increments exactly one
+        named counter.
+        """
+        if event not in self.RESILIENCE_EVENTS:
+            raise ValueError(f"unknown resilience counter {event!r}")
+        with self._lock:
+            setattr(self, event, getattr(self, event) + n)
+
     def as_dict(self) -> dict:
         """A JSON-safe snapshot of every tally (plus the derived sums).
 
@@ -210,6 +239,12 @@ class HotCounters:
                 "plan_cache_misses": self.plan_cache_misses,
                 "plan_cache_promotions": self.plan_cache_promotions,
                 "plan_cache_invalidations": self.plan_cache_invalidations,
+                "kernel_fallbacks": self.kernel_fallbacks,
+                "pool_replacements": self.pool_replacements,
+                "serial_degradations": self.serial_degradations,
+                "watchdog_timeouts": self.watchdog_timeouts,
+                "store_retries": self.store_retries,
+                "memory_replans": self.memory_replans,
                 "dispatches": self.gemm_calls + self.batched_calls,
                 "total_slices": self.gemm_calls + self.batched_slices,
             }

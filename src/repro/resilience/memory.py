@@ -1,0 +1,152 @@
+"""Memory-pressure pre-flight guard: size the TTM before touching memory.
+
+A TTM that dies in ``DenseTensor.empty`` or inside a kernel's packing
+buffer leaves the caller with a ``MemoryError`` from the middle of the
+hot path — and, if the output was preallocated, possibly a partially
+written tensor.  The plan already knows every working set (the estimator
+prices them to choose ``M_C``), so the executor can know *before the
+first allocation* whether the call fits:
+
+* the output tensor (when the caller did not preallocate it), plus
+* one kernel working set per thread that can have a multiply in flight
+  (operand views are free; kernel temporaries — packing buffers, BLAS
+  workspace, accumulate scratch — are bounded by the kernel size).
+
+When the footprint exceeds the memory the guard sees available it raises
+a typed :class:`~repro.util.errors.ResourceError` up front — or, with
+``allow_replan=True``, degrades to a lower-degree plan whose smaller
+``M_C`` working set fits, counting a ``memory_replans`` degradation.
+
+Availability comes from ``$REPRO_MEM_LIMIT`` (an explicit byte budget —
+containers, tests), else ``MemAvailable`` in ``/proc/meminfo``, else the
+guard stands down (None).  Small calls skip the probe entirely: below
+:data:`PREFLIGHT_MIN_BYTES` a failure is implausible and the hot path
+should not pay a file read per TTM.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import os
+
+from repro.resilience.faults import active_faults, record_degradation
+from repro.util.errors import ResourceError
+
+log = logging.getLogger("repro.resilience")
+
+#: Environment variable capping the bytes the guard believes available.
+MEM_LIMIT_ENV = "REPRO_MEM_LIMIT"
+
+#: Footprints below this skip the availability probe (no env cap, no
+#: faults armed): probing /proc per tiny TTM would cost more than the
+#: allocation it guards.
+PREFLIGHT_MIN_BYTES = 64 << 20
+
+
+def available_bytes() -> int | None:
+    """Bytes the guard may plan against, or None when unknowable.
+
+    An armed ``alloc-fail`` injection forces 0 — the deterministic way
+    to exercise the pressure paths without actually exhausting a test
+    machine.
+    """
+    faults = active_faults()
+    if faults is not None and faults.check("alloc-fail"):
+        return 0
+    override = os.environ.get(MEM_LIMIT_ENV)
+    if override:
+        try:
+            return max(0, int(override))
+        except ValueError:
+            log.warning("ignoring non-integer %s=%r", MEM_LIMIT_ENV, override)
+    try:
+        with open("/proc/meminfo") as fh:
+            for line in fh:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def plan_footprint_bytes(plan, *, allocate_out: bool = True) -> int:
+    """The bytes a plan's execution allocates, from geometry alone.
+
+    Output storage (when the executor allocates it) plus one kernel
+    working set per thread that can hold a multiply in flight.  Operand
+    *views* cost nothing — that is the point of the in-place algorithm —
+    so this is the complete allocation story, not an estimate of RSS.
+    """
+    out_bytes = 0
+    if allocate_out:
+        out_bytes = plan.itemsize * math.prod(plan.out_shape)
+    in_flight = max(plan.loop_threads, plan.kernel_threads)
+    return out_bytes + plan.kernel_working_set_bytes * in_flight
+
+
+def guard_memory(plan, *, allocate_out: bool = True, allow_replan: bool = False):
+    """Admit, degrade, or refuse a plan against available memory.
+
+    Returns the plan to execute: the original when it fits (or when
+    availability is unknowable), a lower-degree replacement when
+    ``allow_replan`` and one fits, otherwise raises
+    :class:`ResourceError` before anything was allocated.
+    """
+    need = plan_footprint_bytes(plan, allocate_out=allocate_out)
+    forced = active_faults() is not None or MEM_LIMIT_ENV in os.environ
+    if not forced and need < PREFLIGHT_MIN_BYTES:
+        return plan
+    avail = available_bytes()
+    if avail is None or need <= avail:
+        return plan
+    if allow_replan:
+        replacement = _lower_degree_plan(plan, avail, allocate_out)
+        if replacement is not None:
+            log.warning(
+                "memory pressure: plan needs ~%d bytes, %d available; "
+                "degrading degree %d -> %d",
+                need, avail, plan.degree, replacement.degree,
+            )
+            record_degradation(
+                "memory_replans",
+                memory_replan=True,
+                replan_from_degree=plan.degree,
+                replan_to_degree=replacement.degree,
+            )
+            return replacement
+    raise ResourceError(
+        f"TTM for shape {plan.shape} mode {plan.mode} J={plan.j} needs "
+        f"~{need} bytes ({'output + ' if allocate_out else ''}kernel "
+        f"working sets) but only {avail} appear available; free memory, "
+        f"raise ${MEM_LIMIT_ENV}, or pass allow_replan=True to accept a "
+        "lower-degree plan"
+    )
+
+
+def _lower_degree_plan(plan, avail: int, allocate_out: bool):
+    """The highest-degree plan below *plan* whose footprint fits, if any.
+
+    Rebuilt through :func:`repro.core.inttm.default_plan` (imported
+    lazily — this module sits below the core layer) with the kernel
+    reopened to ``auto``: a shorter component run can change stride
+    legality, and ``auto`` re-routes per operand.
+    """
+    from repro.core.inttm import default_plan
+
+    for degree in range(plan.degree - 1, -1, -1):
+        candidate = default_plan(
+            plan.shape,
+            plan.mode,
+            plan.j,
+            plan.layout,
+            loop_threads=plan.loop_threads,
+            kernel_threads=plan.kernel_threads,
+            kernel="auto",
+            degree=degree,
+            batched=bool(plan.batch_modes),
+            dtype=plan.dtype,
+        )
+        if plan_footprint_bytes(candidate, allocate_out=allocate_out) <= avail:
+            return candidate
+    return None

@@ -49,6 +49,42 @@ class CacheError(ReproError, RuntimeError):
     """
 
 
+class ResourceError(ReproError, MemoryError):
+    """A TTM would exceed the memory the pre-flight guard sees available.
+
+    Raised *before* any allocation, from the plan's own size arithmetic,
+    so a too-large call fails cleanly instead of dying mid-flight with a
+    partially written output.  ``ttm_inplace(..., allow_replan=True)``
+    degrades to a lower-degree plan instead when one fits.
+    """
+
+
+class KernelExecutionError(ReproError, RuntimeError):
+    """Every tier of the GEMM kernel fallback chain failed.
+
+    The executor degrades ``blas -> blocked -> reference`` with one retry
+    per tier; this error means even the reference kernel raised.  The
+    original exception is chained as ``__cause__``.
+    """
+
+
+class DeadlineError(ReproError, TimeoutError):
+    """A supervised parallel region exceeded its watchdog deadline.
+
+    Raised by :func:`repro.parallel.parfor` instead of blocking forever
+    on a stuck worker; the suspect pool is evicted so the next call gets
+    a fresh worker team.
+    """
+
+
+class NumericError(ReproError, ArithmeticError):
+    """A kernel produced non-finite values (NaN/Inf) in the result.
+
+    Only raised when the caller opts in (``check_finite=True``); the
+    message names the kernel that produced the values.
+    """
+
+
 class StoreCorruptError(CacheError, PlanError):
     """A cache file is unreadable: truncated, invalid JSON, wrong types."""
 

@@ -52,6 +52,30 @@ def check_probability(value: float, name: str) -> float:
     return value
 
 
+def check_finite_result(array, kernel: str, context: str = "ttm") -> None:
+    """Raise :class:`NumericError` when *array* contains NaN/Inf.
+
+    Opt-in validation for the execution layer (``check_finite=True``):
+    the error names the kernel that produced the values, so a poisoned
+    result is attributed to its producer instead of surfacing three
+    layers later in caller arithmetic.
+    """
+    import numpy as np
+
+    from repro.util.errors import NumericError
+
+    if array.size == 0 or array.dtype.kind not in "fc":
+        return
+    if bool(np.isfinite(array).all()):
+        return
+    bad = int(array.size - np.count_nonzero(np.isfinite(array)))
+    raise NumericError(
+        f"{context} result contains {bad} non-finite value(s) "
+        f"(NaN/Inf) produced by kernel {kernel!r}; check the operands "
+        "for non-finite input or overflow at this precision"
+    )
+
+
 def normalized_order(perm: Sequence[int], ndim: int) -> tuple[int, ...]:
     """Validate that *perm* is a permutation of range(ndim); return a tuple."""
     perm_t = tuple(int(p) for p in perm)
