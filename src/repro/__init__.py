@@ -28,7 +28,7 @@ from repro.tensor import (
     random_tensor,
     unfold,
 )
-from repro.core import InTensLi, TtmPlan, ttm_inplace
+from repro.core import ChainPlan, InTensLi, TtmPlan, ttm_chain, ttm_inplace
 from repro.core.intensli import ttm
 from repro.baselines import ttm_copy, ttm_ctf_like
 from repro.autotune import AutotuneSession, PlanCache
@@ -47,9 +47,11 @@ __all__ = [
     "random_tensor",
     "unfold",
     "AutotuneSession",
+    "ChainPlan",
     "InTensLi",
     "PlanCache",
     "TtmPlan",
+    "ttm_chain",
     "ttm_inplace",
     "ttm",
     "ttm_copy",

@@ -18,6 +18,9 @@ Commands
 ``cache show | clear | warm SHAPE MODE J``
     Inspect, delete, or pre-populate the persistent autotune plan cache
     (``$REPRO_PLAN_CACHE`` or ``~/.cache/repro/plans.json``).
+``explain chain SHAPE STEPS``
+    Show how the chain planner orders and buffers a multi-TTM chain,
+    e.g. ``python -m repro explain chain 40x40x40x40 0:8,1:8,2:8,3:8``.
 ``trace [WORKLOAD]``
     Run a demo workload under the :mod:`repro.obs` tracer, print the
     span tree, and optionally export Chrome-trace / JSON-lines files
@@ -49,6 +52,7 @@ _BENCHES = {
     "distributed": "bench_distributed_ttm",
     "batched": "bench_batched_inttm",
     "autotune": "bench_autotune_cache",
+    "chain": "bench_ttm_chain",
     "ablation-chain": "bench_ablation_chain",
     "ablation-estimator": "bench_ablation_estimator",
     "ablation-degree": "bench_ablation_degree",
@@ -221,6 +225,37 @@ def cmd_cache_warm(args) -> int:
     return 0
 
 
+def _parse_chain_steps(text: str) -> list[tuple[int, int]]:
+    """Parse a chain signature like ``0:8,1:8,2:16`` into (mode, J) pairs."""
+    pairs: list[tuple[int, int]] = []
+    try:
+        for part in text.split(","):
+            mode_text, j_text = part.split(":")
+            pairs.append((int(mode_text), int(j_text)))
+    except ValueError:
+        raise SystemExit(
+            f"error: cannot parse chain steps {text!r}; "
+            "use comma-separated MODE:J pairs, e.g. 0:8,1:8,2:16"
+        )
+    if not pairs or any(j < 1 for _m, j in pairs):
+        raise SystemExit(f"error: invalid chain steps {text!r}")
+    return pairs
+
+
+def cmd_explain(args) -> int:
+    from repro.core import InTensLi
+    from repro.core.explain import explain_chain
+
+    shape = _parse_shape(args.shape)
+    steps = _parse_chain_steps(args.steps)
+    lib = InTensLi(max_threads=args.threads)
+    plan = lib.plan_chain(
+        shape, steps, args.layout, dtype=args.dtype, order=args.order
+    )
+    print(explain_chain(plan, flops_per_byte=lib.machine_balance))
+    return 0
+
+
 #: Demo workloads the ``trace`` subcommand can run under the tracer.
 TRACE_WORKLOADS = ("ttm", "chain")
 
@@ -241,11 +276,16 @@ def _run_trace_workload(args) -> None:
         u = rng.standard_normal((args.j, shape[args.mode]))
         lib.ttm(x, u, args.mode)
         lib.ttm(x, u, args.mode)
-    else:  # chain: project every mode in turn (the Tucker access pattern)
-        current = x
-        for mode in range(len(shape)):
-            u = rng.standard_normal((args.j, current.shape[mode]))
-            current = lib.ttm(current, u, mode)
+    else:  # chain: project every mode, fused (the Tucker access pattern)
+        # Two identical calls: the first shows chain planning plus cold
+        # scratch allocations, the second a chain-plan cache hit with
+        # every buffer reused.
+        steps = [
+            (mode, rng.standard_normal((args.j, shape[mode])))
+            for mode in range(len(shape))
+        ]
+        lib.ttm_chain(x, steps, order="auto")
+        lib.ttm_chain(x, steps, order="auto")
 
 
 def cmd_trace(args) -> int:
@@ -361,7 +401,8 @@ def build_parser() -> argparse.ArgumentParser:
         default="ttm",
         choices=TRACE_WORKLOADS,
         help="demo workload: 'ttm' (plan+execute twice, showing the "
-        "cache hit) or 'chain' (project every mode in turn)",
+        "cache hit) or 'chain' (fused multi-TTM chain twice, showing "
+        "the chain-plan cache hit and scratch reuse)",
     )
     trace.add_argument("--shape", default="24x24x24")
     trace.add_argument("--mode", type=int, default=1)
@@ -383,6 +424,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="export spans as JSON-lines",
     )
     trace.set_defaults(fn=cmd_trace)
+
+    explain = sub.add_parser(
+        "explain", help="explain a planner decision"
+    )
+    explain_sub = explain.add_subparsers(dest="what", required=True)
+    chain = explain_sub.add_parser(
+        "chain", help="show a fused TTM chain's order and buffer schedule"
+    )
+    chain.add_argument("shape", help="tensor shape, e.g. 40x40x40x40")
+    chain.add_argument(
+        "steps",
+        help="chain signature as comma-separated MODE:J pairs, "
+        "e.g. 0:8,1:8,2:16",
+    )
+    chain.add_argument("--layout", default="C", choices=["C", "F"])
+    chain.add_argument("--threads", type=int, default=1)
+    chain.add_argument("--dtype", default="float64")
+    chain.add_argument(
+        "--order", default="auto",
+        choices=["auto", "greedy", "optimal", "given"],
+        help="ordering policy: auto (roofline DP), greedy (flop "
+        "exchange rule), optimal (flop DP), given (as written)",
+    )
+    chain.set_defaults(fn=cmd_explain)
 
     bench = sub.add_parser("bench", help="run one paper experiment")
     bench.add_argument("name", help="experiment id (or 'list')")

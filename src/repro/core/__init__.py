@@ -39,10 +39,16 @@ from repro.core.serialize import (
     save_plans,
 )
 from repro.core.chain import (
+    ChainPlan,
     ChainStep,
+    ScratchPool,
+    chain_cost,
     chain_flops,
+    chain_intermediate_bytes,
+    execute_chain,
     greedy_order,
     optimal_order,
+    plan_chain,
     ttm_chain,
 )
 from repro.core.intensli import InTensLi
@@ -66,10 +72,16 @@ __all__ = [
     "ExhaustiveTuner",
     "TunerResult",
     "enumerate_plans",
+    "ChainPlan",
     "ChainStep",
+    "ScratchPool",
+    "chain_cost",
     "chain_flops",
+    "chain_intermediate_bytes",
+    "execute_chain",
     "greedy_order",
     "optimal_order",
+    "plan_chain",
     "ttm_chain",
     "predict_gflops",
     "predict_seconds",

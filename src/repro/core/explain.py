@@ -10,6 +10,8 @@ for logging in deployments.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.partition import Thresholds
 from repro.core.plan import Strategy, TtmPlan
 from repro.core.threads import DEFAULT_PTH_BYTES
@@ -121,4 +123,104 @@ def explain_plan(
         f"kernel: {plan.kernel} — sub-tensor views are "
         f"{'BLAS-legal (unit stride in one dimension)' if legal else 'general-stride (both strides non-unit); the blocked BLIS-role kernel packs panels'}."
     )
+    return "\n".join(lines)
+
+
+def explain_chain(plan, flops_per_byte: float | None = None) -> str:
+    """A multi-line rationale for a :class:`~repro.core.chain.ChainPlan`.
+
+    Shows the chosen execution order against the caller's given order —
+    flops, intermediate write traffic, and the combined roofline cost
+    the planner actually minimized — plus the ping-pong scratch schedule
+    and a one-line summary of every pre-built per-step plan.
+    """
+    from repro.core.chain import (
+        DEFAULT_FLOPS_PER_BYTE,
+        ChainStep,
+        chain_cost,
+        chain_flops,
+        chain_intermediate_bytes,
+    )
+
+    fpb = DEFAULT_FLOPS_PER_BYTE if flops_per_byte is None else flops_per_byte
+    lines = [plan.describe(), ""]
+    if not plan.step_plans:
+        lines.append("empty chain: nothing to execute.")
+        return "\n".join(lines)
+
+    # Rebuild the caller's original (mode, J) sequence from the executed
+    # plans: step_plans[k] executes original step order[k].  The dummy
+    # matrices are zero-byte broadcast views — only their shapes matter
+    # to the cost models.
+    original: list[ChainStep | None] = [None] * plan.n_steps
+    for k, step_plan in enumerate(plan.step_plans):
+        i_n = plan.shape[step_plan.mode]
+        matrix = np.broadcast_to(np.float64(0.0), (step_plan.j, i_n))
+        original[plan.order[k]] = ChainStep(step_plan.mode, matrix)
+    steps = [s for s in original if s is not None]
+    itemsize = plan.itemsize
+
+    given_flops = chain_flops(plan.shape, steps)
+    chosen_flops = chain_flops(plan.shape, steps, plan.order)
+    given_bytes, given_peak = chain_intermediate_bytes(
+        plan.shape, steps, itemsize=itemsize
+    )
+    chosen_bytes, chosen_peak = chain_intermediate_bytes(
+        plan.shape, steps, plan.order, itemsize=itemsize
+    )
+    given_cost = chain_cost(plan.shape, steps, itemsize=itemsize,
+                            flops_per_byte=fpb)
+    chosen_cost = chain_cost(plan.shape, steps, plan.order,
+                             itemsize=itemsize, flops_per_byte=fpb)
+
+    seq = " -> ".join(
+        f"mode {p.mode} (I={plan.shape[p.mode]} -> J={p.j})"
+        for p in plan.step_plans
+    )
+    lines.append(f"order: {list(plan.order)} — {seq}.")
+
+    def ratio(given: float, chosen: float) -> str:
+        if chosen <= 0:
+            return "1.00x"
+        return f"{given / chosen:.2f}x"
+
+    lines.append(
+        f"flops: {chosen_flops:,} vs {given_flops:,} as given "
+        f"({ratio(given_flops, chosen_flops)} saved by reordering)."
+    )
+    lines.append(
+        f"intermediate writes: {format_bytes(chosen_bytes)} total / "
+        f"{format_bytes(chosen_peak)} peak, vs {format_bytes(given_bytes)} / "
+        f"{format_bytes(given_peak)} as given."
+    )
+    lines.append(
+        f"roofline cost (@ {fpb:.1f} flops/byte): {chosen_cost:,.0f} vs "
+        f"{given_cost:,.0f} byte-equivalents "
+        f"({ratio(given_cost, chosen_cost)}) — the planner minimizes this "
+        "combined figure, so an order that saves traffic wins whenever the "
+        "chain is bandwidth-bound."
+    )
+
+    slots = plan.scratch_elements
+    if slots:
+        sizes = " + ".join(
+            format_bytes(e * itemsize) for e in slots
+        )
+        lines.append(
+            f"scratch: {len(slots)} ping-pong slot(s) ({sizes}) — "
+            f"intermediates alternate slots, so this {plan.n_steps}-step "
+            "chain makes at most 2 allocations (0 once the pool is warm); "
+            "the final product writes the caller's out."
+        )
+    else:
+        lines.append(
+            "scratch: none — a single-step chain writes the output directly."
+        )
+
+    lines.append("")
+    lines.append("per-step plans (pre-built once, cached per chain signature):")
+    for k, step_plan in enumerate(plan.step_plans):
+        last = k == plan.n_steps - 1
+        target = "out" if last else f"slot {k % 2}"
+        lines.append(f"  step {k} -> {target}: {step_plan.describe()}")
     return "\n".join(lines)

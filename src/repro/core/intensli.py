@@ -21,6 +21,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.roofline import CORE_I7_4770K, RooflinePlatform
+from repro.core.chain import (
+    ChainPlan,
+    ChainStep,
+    ScratchPool,
+    execute_chain,
+    plan_chain,
+)
 from repro.core.codegen import compile_plan
 from repro.core.estimator import ParameterEstimator
 from repro.core.inttm import ttm_inplace
@@ -135,6 +142,8 @@ class InTensLi:
         )
         self._plan_cache: dict[tuple, TtmPlan] = {}
         self._persistent_cache = None
+        self._chain_cache: dict[tuple, ChainPlan] = {}
+        self._chain_pool = ScratchPool()
 
     # -- planning -------------------------------------------------------------
 
@@ -232,6 +241,149 @@ class InTensLi:
     @property
     def cached_plans(self) -> int:
         return len(self._plan_cache)
+
+    @property
+    def cached_chain_plans(self) -> int:
+        return len(self._chain_cache)
+
+    @property
+    def machine_balance(self) -> float:
+        """Flops per byte at this platform's roofline ridge point.
+
+        The chain planner weighs a candidate order's intermediate bytes
+        against its flops at exactly this ratio, so an order that saves
+        traffic wins whenever the chain is bandwidth-bound on this
+        machine.
+        """
+        bandwidth = max(self.platform.bandwidth_gbs, 1e-9)
+        return max(self.platform.peak_gflops / bandwidth, 1e-9)
+
+    def plan_chain(
+        self,
+        shape: Sequence[int],
+        steps: Sequence[tuple[int, int]],
+        layout: Layout | str = Layout.ROW_MAJOR,
+        dtype=None,
+        order: "str | Sequence[int]" = "auto",
+    ) -> ChainPlan:
+        """The (cached) whole-chain plan for a chain signature.
+
+        *steps* is the ``(mode, J)`` sequence.  The chain plan is cached
+        under a chain-qualified key — the full step signature, not any
+        single product — while each per-step :class:`TtmPlan` flows
+        through :meth:`plan` and therefore through the persistent
+        autotune cache under its own per-step signature, so chains that
+        share steps share tuned decisions.
+        """
+        layout = Layout.parse(layout)
+        dt = DEFAULT_DTYPE if dtype is None else canonical_dtype(dtype)
+        shape_t = tuple(int(s) for s in shape)
+        sig = tuple((int(m), int(j)) for m, j in steps)
+        order_key = order if isinstance(order, str) else tuple(order)
+        key = (shape_t, sig, layout, dt.name, self.max_threads, order_key)
+        tracer = active_tracer()
+        if not tracer.enabled:
+            return self._plan_chain_impl(key, shape_t, sig, layout, dt, order)
+        with tracer.span(
+            "chain-plan",
+            shape=list(shape_t),
+            steps=[[m, j] for m, j in sig],
+            layout=layout.name,
+            dtype=dt.name,
+            threads=self.max_threads,
+        ) as span:
+            cached = key in self._chain_cache
+            plan = self._plan_chain_impl(key, shape_t, sig, layout, dt, order)
+            span.set(
+                cache_hit=cached,
+                order=list(plan.order),
+                flops=plan.total_flops,
+                peak_intermediate_bytes=plan.peak_intermediate_bytes,
+                scratch_slots=len(plan.scratch_elements),
+            )
+        return plan
+
+    def _plan_chain_impl(
+        self,
+        key: tuple,
+        shape_t: tuple[int, ...],
+        sig: tuple[tuple[int, int], ...],
+        layout: Layout,
+        dt: np.dtype,
+        order: "str | Sequence[int]",
+    ) -> ChainPlan:
+        plan = self._chain_cache.get(key)
+        if plan is None:
+            def step_planner(shape, mode, j, lay, dtype=None):
+                return self.plan(shape, mode, j, lay, dtype=dtype)
+
+            plan = plan_chain(
+                shape_t, sig, layout, dtype=dt, order=order,
+                planner=step_planner,
+                flops_per_byte=self.machine_balance,
+            )
+            self._chain_cache[key] = plan
+        return plan
+
+    def ttm_chain(
+        self,
+        x: DenseTensor,
+        steps,
+        out: DenseTensor | None = None,
+        order: "str | Sequence[int]" = "auto",
+        transpose: bool = False,
+    ) -> DenseTensor:
+        """Execute a multi-TTM chain fused: plan once, reuse every buffer.
+
+        *steps* are ``(mode, matrix)`` pairs or :class:`ChainStep`
+        objects; with ``transpose=True`` every matrix is ``(I_n, J)``
+        and applied transposed (the Tucker projection's convention),
+        served by transpose views — no copies.  Intermediates ping-pong
+        through this instance's scratch pool (reused across calls, so
+        HOOI sweeps converge to zero allocations); the final product is
+        written into *out* when given.  Each step runs through
+        :meth:`execute`, i.e. the facade's configured executor.
+        """
+        if not isinstance(x, DenseTensor):
+            x = DenseTensor(np.asarray(x))
+        steps_t = []
+        for s in steps:
+            if isinstance(s, ChainStep):
+                mode, matrix = s.mode, s.matrix
+            else:
+                mode, matrix = int(s[0]), s[1]
+            matrix = _match_u_dtype(matrix, x.data.dtype)
+            if matrix.ndim != 2:
+                raise ShapeError(
+                    f"chain step at mode {mode} must be 2-D, got "
+                    f"{matrix.ndim}-D"
+                )
+            if transpose:
+                matrix = matrix.T  # view; BLAS-legal
+            steps_t.append(ChainStep(mode, matrix))
+        plan = self.plan_chain(
+            x.shape,
+            [(s.mode, s.j) for s in steps_t],
+            x.layout,
+            dtype=x.data.dtype,
+            order=order,
+        )
+
+        def run_step(step_plan, x_cur, u, target):
+            return self.execute(step_plan, x_cur, u, out=target)
+
+        return execute_chain(
+            x, steps_t, plan, out=out, pool=self._chain_pool,
+            execute=run_step,
+        )
+
+    def release_scratch(self) -> int:
+        """Drop the chain scratch buffers; returns the bytes freed."""
+        return self._chain_pool.release()
+
+    def __call__(self, x, u, mode, **kwargs):
+        """Alias of :meth:`ttm` so an instance is itself a TTM backend."""
+        return self.ttm(x, u, mode, **kwargs)
 
     def tune(
         self,

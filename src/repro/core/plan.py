@@ -267,6 +267,17 @@ class TtmPlan:
         return self.itemsize * (m * k + k * n + m * n)
 
     @property
+    def output_bytes(self) -> int:
+        """Bytes of the full output tensor Y (what a chain step materializes).
+
+        This is the quantity the chain planner sums and peaks over when
+        ordering a multi-TTM chain: every intermediate is one step's
+        output, so the order that minimizes these bytes minimizes both
+        scratch footprint and write traffic.
+        """
+        return self.itemsize * math.prod(self.out_shape)
+
+    @property
     def kernel_flops(self) -> int:
         m, k, n = self.kernel_shape
         return 2 * m * k * n

@@ -18,6 +18,7 @@ from repro.decomp.tensor_train import (
     TensorTrain,
     tt_reconstruct,
     tt_svd,
+    tt_svd_tucker,
 )
 from repro.decomp.cp import (
     CpResult,
@@ -29,6 +30,7 @@ from repro.decomp.cp import (
 )
 from repro.decomp.htucker import (
     HTucker,
+    ht_core,
     ht_error,
     ht_reconstruct,
     ht_svd,
@@ -42,6 +44,7 @@ __all__ = [
     "TensorTrain",
     "tt_reconstruct",
     "tt_svd",
+    "tt_svd_tucker",
     "CpResult",
     "cp_als",
     "cp_reconstruct",
@@ -49,6 +52,7 @@ __all__ = [
     "mttkrp",
     "mttkrp_inplace",
     "HTucker",
+    "ht_core",
     "ht_error",
     "ht_reconstruct",
     "ht_svd",

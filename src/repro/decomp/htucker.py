@@ -159,25 +159,75 @@ def ht_svd(x: DenseTensor, max_rank: int) -> HTucker:
     return HTucker(root=root, shape=x.shape)
 
 
-def _node_basis(node: HTNode) -> np.ndarray:
+def _leaf_frames(ht: HTucker) -> list[np.ndarray]:
+    """The leaf frames ``U_m (I_m x k_m)`` in mode order."""
+    frames: list[np.ndarray | None] = [None] * len(ht.shape)
+    stack = [ht.root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            frames[node.lo] = node.leaf_frame
+        else:
+            stack.extend([node.left, node.right])
+    return frames  # type: ignore[return-value]
+
+
+def _node_core(node: HTNode) -> np.ndarray:
+    """A subtree's mixing matrix in *leaf-rank* coordinates.
+
+    Same recursion as the explicit basis, but with every leaf frame
+    replaced by the identity: the result maps the node rank to the
+    product of leaf ranks instead of the product of full extents, so it
+    stays tiny regardless of tensor size.
+    """
     if node.is_leaf:
-        return node.leaf_frame
-    u_left = _node_basis(node.left)
-    u_right = _node_basis(node.right)
+        return np.eye(node.rank)
+    c_left = _node_core(node.left)
+    c_right = _node_core(node.right)
     combined = np.einsum(
-        "ia,jb,abc->ijc", u_left, u_right, node.transfer, optimize=True
+        "ia,jb,abc->ijc", c_left, c_right, node.transfer, optimize=True
     )
     return combined.reshape(-1, node.rank)
 
 
-def ht_reconstruct(ht: HTucker) -> DenseTensor:
-    """Expand a hierarchical Tucker decomposition to the full tensor."""
+def ht_core(ht: HTucker) -> DenseTensor:
+    """The order-N core in leaf-rank space (shape = per-mode leaf ranks).
+
+    Contracting all transfer tensors — but *not* the leaf frames — turns
+    the dimension tree into an ordinary Tucker core ``G`` with
+    ``X = G x_0 U_0 ... x_{N-1} U_{N-1}``; the expansion is then exactly
+    the TTM chain this library optimizes.
+    """
     root = ht.root
-    u_left = _node_basis(root.left)
-    u_right = _node_basis(root.right)
-    mat = u_left @ root.transfer @ u_right.T
-    full = mat.reshape(ht.shape)
-    return DenseTensor(full)
+    c_left = _node_core(root.left)
+    c_right = _node_core(root.right)
+    mat = c_left @ root.transfer @ c_right.T
+    ranks = tuple(frame.shape[1] for frame in _leaf_frames(ht))
+    return DenseTensor(np.ascontiguousarray(mat.reshape(ranks)))
+
+
+def ht_reconstruct(ht: HTucker, ttm_backend=None) -> DenseTensor:
+    """Expand a hierarchical Tucker decomposition to the full tensor.
+
+    Runs as a fused TTM chain over the leaf-rank core: the chain planner
+    orders the N mode products and ping-pongs two scratch buffers, so
+    the expansion costs at most two intermediate allocations.
+    """
+    from repro.core.chain import ChainStep, ttm_chain
+
+    if ttm_backend is None:
+        from repro.core.intensli import default_intensli
+
+        ttm_backend = default_intensli()
+    core = ht_core(ht)
+    steps = [
+        ChainStep(mode, frame)
+        for mode, frame in enumerate(_leaf_frames(ht))
+    ]
+    chain = getattr(ttm_backend, "ttm_chain", None)
+    if chain is not None:
+        return chain(core, steps, order="auto")
+    return ttm_chain(core, steps, backend=ttm_backend)
 
 
 def ht_error(x: DenseTensor, ht: HTucker) -> float:

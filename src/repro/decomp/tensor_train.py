@@ -102,6 +102,43 @@ def tt_svd(
     return TensorTrain(cores=cores, shape=shape)
 
 
+def tt_svd_tucker(
+    x: DenseTensor,
+    max_rank: int | Sequence[int] = 2**62,
+    tolerance: float = 0.0,
+    tucker_ranks: Sequence[int] | int | None = None,
+    ttm_backend=None,
+) -> TensorTrain:
+    """TT-SVD on a HOSVD-compressed core (the Tucker-then-TT two-step).
+
+    Project X onto its per-mode singular bases first — one fused TTM
+    chain over all N modes — run TT-SVD on the (much smaller) Tucker
+    core, then expand every order-3 core's physical mode back by the
+    corresponding factor with a single mode-1 TTM.  With
+    *tucker_ranks* left at the full shape the result matches plain
+    :func:`tt_svd` up to floating-point noise; with truncated ranks the
+    SVD sweeps run over the compressed core instead of the full tensor.
+    """
+    from repro.core.chain import ChainStep, ttm_chain
+    from repro.decomp.tucker import hosvd
+
+    if ttm_backend is None:
+        from repro.core.intensli import default_intensli
+
+        ttm_backend = default_intensli()
+    ranks = tucker_ranks if tucker_ranks is not None else x.shape
+    tucker = hosvd(x, ranks, ttm_backend=ttm_backend)
+    tt = tt_svd(tucker.core, max_rank=max_rank, tolerance=tolerance)
+    cores: list[np.ndarray] = []
+    for core, factor in zip(tt.cores, tucker.factors):
+        g = DenseTensor(np.ascontiguousarray(core))
+        # Mode 1 of (r_{k-1}, R_k, r_k) is the physical mode: one TTM
+        # with U_k (I_k x R_k) restores the original extent.
+        expanded = ttm_chain(g, [ChainStep(1, factor)], backend=ttm_backend)
+        cores.append(np.ascontiguousarray(expanded.data))
+    return TensorTrain(cores=cores, shape=x.shape)
+
+
 def tt_reconstruct(tt: TensorTrain) -> DenseTensor:
     """Contract a tensor train back into a full dense tensor."""
     result = tt.cores[0]  # (1, I_0, r_1)

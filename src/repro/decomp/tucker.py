@@ -8,7 +8,14 @@ comparisons honest: only the TTM differs.
 
 A backend is any callable ``backend(x: DenseTensor, u: ndarray, mode:
 int) -> DenseTensor`` computing the mode-n product with ``u`` of shape
-``(J, I_n)``.
+``(J, I_n)``.  A backend may additionally expose a ``ttm_chain(x,
+steps, out=None, order=..., transpose=...)`` method (the
+:class:`repro.core.InTensLi` facade does); when it does, the Tucker hot
+paths hand it the *whole* projection chain so it can plan the chain as
+a unit and reuse scratch buffers across steps, instead of allocating a
+fresh intermediate per mode product.  Plain callables keep the exact
+step-at-a-time behavior, which is what the end-to-end benchmark's
+baseline backends want.
 """
 
 from __future__ import annotations
@@ -27,9 +34,11 @@ TtmBackend = Callable[[DenseTensor, np.ndarray, int], DenseTensor]
 
 
 def _default_backend() -> TtmBackend:
-    from repro.core.intensli import ttm
+    # The module-wide InTensLi instance: callable like a plain backend,
+    # and chain-capable, so default decompositions run the fused path.
+    from repro.core.intensli import default_intensli
 
-    return ttm
+    return default_intensli()
 
 
 def _check_ranks(shape: Sequence[int], ranks: Sequence[int] | int) -> tuple[int, ...]:
@@ -134,6 +143,10 @@ def _project_all_but(
     ]
     if not steps:
         return x
+    chain = getattr(backend, "ttm_chain", None)
+    if chain is not None:
+        # Chain-capable backend: one fused plan, ping-pong scratch reuse.
+        return chain(x, steps, order="auto")
     return ttm_chain(x, steps, backend=backend, order="greedy")
 
 
@@ -219,9 +232,19 @@ def tucker_reconstruct(
 ) -> DenseTensor:
     """Expand a Tucker (core, factors) pair back to the full tensor."""
     backend = ttm_backend or _default_backend()
+    chain = getattr(backend, "ttm_chain", None)
+    if chain is not None:
+        steps = list(enumerate(factors))
+        if not steps:
+            return core
+        return chain(core, steps, order="auto")
     y = core
     for mode, factor in enumerate(factors):
-        y = backend(y, np.ascontiguousarray(factor), mode)
+        # Factors are usually already contiguous (the SVD helpers return
+        # them that way); copy only when a backend actually needs it.
+        if not factor.flags["C_CONTIGUOUS"] and not factor.flags["F_CONTIGUOUS"]:
+            factor = np.ascontiguousarray(factor)
+        y = backend(y, factor, mode)
     return y
 
 

@@ -404,5 +404,7 @@ def test_cli_trace_chain_workload(capsys):
     rc = main(["trace", "chain", "--shape", "5x4x3", "--j", "2"])
     assert rc == 0
     out = capsys.readouterr().out
-    # One ttm root per mode of the chain.
-    assert out.count("\nttm") + (1 if out.startswith("ttm") else 0) == 3
+    # The chain workload runs the fused path: one plan span, one exec
+    # span per run, one chain-step span per mode of the chain.
+    assert "chain-plan" in out and "chain-exec" in out
+    assert out.count("chain-step") == 6  # 3 steps x 2 runs
