@@ -1,0 +1,150 @@
+"""Serving-engine benchmark: coalesced fleets vs. per-request dispatch.
+
+The serving engine's reason to exist is that many tenants' small TTMs,
+coalesced into one ``gemm_batched`` fleet, beat the same requests served
+one by one.  This harness replays the same deterministic trace through
+two servers — coalescing on and off — and reports p99 latency, sustained
+GFLOP/s, and the speedup, plus the cache hit rate and batching telemetry
+that explain the numbers.  The ``serving_quick`` series feeds the
+regression gate (``benchmarks/check_regression.py``): its ``speedup``
+column is ratio-gated and its ``p99 (ms)`` / ``GF/s`` columns are
+absolute-gated against the committed baseline.
+
+Run as a script (``python benchmarks/bench_serving.py [--quick]``) or
+under pytest for the smoke assertions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+
+import pytest
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import print_header, print_series, run_main
+from repro.serve import ServeConfig, TtmServer
+from repro.serve.workload import default_tenants, generate_trace, replay
+
+#: (label, tenants, requests, concurrency) per benchmark scenario.
+SCENARIOS = [
+    ("mixed-4t", 4, 1200, 64),
+    ("mixed-8t", 8, 1200, 96),
+]
+
+#: The regression-gated scenario: moderate concurrency (less queueing
+#: amplification in the tail) and enough requests for a stable p99.
+QUICK_SCENARIOS = [
+    ("quick-4t", 4, 800, 32),
+]
+
+
+def run_scenario(tenants, requests, concurrency, *, coalesce, seed=7):
+    """Replay one deterministic trace; returns the LoadReport."""
+    trace = generate_trace(default_tenants(tenants), requests, seed=seed)
+    config = ServeConfig(
+        max_inflight=concurrency * 4,
+        max_batch=concurrency,
+        coalesce=coalesce,
+        workers=2,
+    )
+
+    async def _run():
+        server = TtmServer(config=config)
+        await server.start()
+        try:
+            return await replay(server, trace, concurrency=concurrency)
+        finally:
+            await server.stop()
+
+    return asyncio.run(_run())
+
+
+def measure_pair(label, tenants, requests, concurrency, repeats=3):
+    """(row) batched vs. unbatched serving of the same trace.
+
+    Each mode replays *repeats* times and each metric reports its best
+    observation across the repeats (lowest p99, highest GFLOP/s, lowest
+    wall clock): tail latency of a queue-saturated replay is
+    noise-dominated on a shared host, and best-of-N per metric is the
+    least contaminated estimate — the same convention as
+    ``time_callable``, applied per statistic.
+    """
+    unbatched = [
+        run_scenario(tenants, requests, concurrency, coalesce=False)
+        for _ in range(repeats)
+    ]
+    batched = [
+        run_scenario(tenants, requests, concurrency, coalesce=True)
+        for _ in range(repeats)
+    ]
+    wall_u = min(r.wall_s for r in unbatched)
+    wall_b = min(r.wall_s for r in batched)
+    return {
+        "scenario": label,
+        "tenants": tenants,
+        "requests": requests,
+        "p99_ms": min(r.latencies_ms["p99"] for r in batched),
+        "p99_unbatched_ms": min(r.latencies_ms["p99"] for r in unbatched),
+        "gflops": max(r.sustained_gflops for r in batched),
+        "gflops_unbatched": max(r.sustained_gflops for r in unbatched),
+        "hit_rate": batched[0].cache["hit_rate"],
+        "max_batch": max(r.batching["max_batch"] for r in batched),
+        "shed": sum(r.shed["total"] for r in batched + unbatched),
+        "speedup": wall_u / wall_b if wall_b > 0 else float("inf"),
+    }
+
+
+def report(rows, title):
+    print_series(
+        ["scenario", "tenants", "requests", "p99 (ms)", "p99 solo (ms)",
+         "GF/s", "GF/s solo", "hit rate", "max batch", "speedup"],
+        [
+            (
+                r["scenario"], r["tenants"], r["requests"],
+                f"{r['p99_ms']:.3f}", f"{r['p99_unbatched_ms']:.3f}",
+                f"{r['gflops']:.2f}", f"{r['gflops_unbatched']:.2f}",
+                f"{r['hit_rate']:.2%}", r["max_batch"],
+                f"{r['speedup']:.2f}x",
+            )
+            for r in rows
+        ],
+        export_name=title,
+    )
+
+
+# -- pytest targets ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scenario", QUICK_SCENARIOS)
+def test_serving_smoke(scenario):
+    """Closed-loop nominal load: everything completes, nothing sheds."""
+    row = measure_pair(*scenario)
+    assert row["shed"] == 0
+    assert row["max_batch"] > 1  # coalescing actually happened
+
+
+# -- script entry --------------------------------------------------------------
+
+
+def main() -> int:
+    quick = "--quick" in sys.argv
+    print_header(
+        "TTM serving: coalesced gemm_batched fleets vs. per-request dispatch"
+    )
+    if quick:
+        print("[quick] one small scenario\n")
+        report(
+            [measure_pair(*s, repeats=5) for s in QUICK_SCENARIOS],
+            "serving_quick",
+        )
+        return 0
+    report([measure_pair(*s) for s in SCENARIOS], "serving_mixed")
+    return 0
+
+
+if __name__ == "__main__":
+    run_main(main)

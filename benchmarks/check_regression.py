@@ -6,10 +6,14 @@ This checker compares a fresh export against ``benchmarks/baselines/``
 and fails when a tracked metric regressed by more than the allowed
 fraction (default: 30%).
 
-Only *ratio* metrics (the ``speedup`` columns) are compared: they pit
-two code paths against each other on the same host, so they transfer
-across machines, while raw GFLOP/s or microsecond columns do not.
-Absolute columns are reported for context but never gate.
+Only *ratio* metrics (the ``speedup`` columns) are compared by default:
+they pit two code paths against each other on the same host, so they
+transfer across machines, while raw GFLOP/s or microsecond columns do
+not.  The exception is the serving series (``ABSOLUTE_GATES``), whose
+p99 latency and sustained GFLOP/s are the service-level objective
+itself — those gate absolutely, in the direction that matters (latency
+may not rise, throughput may not fall, beyond the tolerance).  Other
+absolute columns are reported for context but never gate.
 
 Usage::
 
@@ -31,6 +35,14 @@ import sys
 #: Headers whose columns gate the check.  Values are higher-is-better
 #: ratios ("12.8x"); a drop below ``baseline * (1 - tolerance)`` fails.
 RATIO_HEADERS = ("speedup",)
+
+#: Per-series absolute gates: exact header -> "higher" (may not fall
+#: below ``baseline * (1 - tolerance)``) or "lower" (may not rise above
+#: ``baseline * (1 + tolerance)``).  Reserved for series whose absolute
+#: numbers *are* the contract — the serving SLO columns.
+ABSOLUTE_GATES: dict[str, dict[str, str]] = {
+    "serving_quick": {"p99 (ms)": "lower", "GF/s": "higher"},
+}
 
 
 def parse_metric(text: str) -> float | None:
@@ -80,13 +92,17 @@ def compare_series(
             f"current {current['headers']!r}); regenerate the baseline"
         )
         return report, failures
-    gated = [
-        i
+    absolute = ABSOLUTE_GATES.get(name, {})
+    gated: dict[int, str] = {
+        i: "higher"
         for i, h in enumerate(headers)
         if any(tag in h.lower() for tag in RATIO_HEADERS)
-    ]
+    }
+    for i, h in enumerate(headers):
+        if h in absolute:
+            gated[i] = absolute[h]
     if not gated:
-        report.append(f"{name}: no ratio columns; informational only")
+        report.append(f"{name}: no gated columns; informational only")
         return report, failures
     current_rows = dict(zip(row_keys(current["rows"]), current["rows"]))
     for key, base_row in zip(row_keys(baseline["rows"]), baseline["rows"]):
@@ -94,7 +110,7 @@ def compare_series(
         if cur_row is None:
             failures.append(f"{name}: row {key[0]!r} missing from current run")
             continue
-        for i in gated:
+        for i, direction in sorted(gated.items()):
             base_val = parse_metric(base_row[i])
             cur_val = parse_metric(cur_row[i])
             if base_val is None or cur_val is None:
@@ -103,17 +119,26 @@ def compare_series(
                     f"({base_row[i]!r} vs {cur_row[i]!r})"
                 )
                 continue
-            floor = base_val * (1.0 - tolerance)
-            verdict = "ok" if cur_val >= floor else "REGRESSED"
+            if direction == "lower":
+                bound = base_val * (1.0 + tolerance)
+                ok = cur_val <= bound
+                bound_name = "ceiling"
+            else:
+                bound = base_val * (1.0 - tolerance)
+                ok = cur_val >= bound
+                bound_name = "floor"
+            verdict = "ok" if ok else "REGRESSED"
             report.append(
-                f"{name}: {key[0]:16s} {headers[i]:8s} "
+                f"{name}: {key[0]:16s} {headers[i]:12s} "
                 f"baseline {base_val:8.2f}  current {cur_val:8.2f}  "
-                f"floor {floor:8.2f}  {verdict}"
+                f"{bound_name} {bound:8.2f}  {verdict}"
             )
-            if cur_val < floor:
+            if not ok:
+                moved = "fell" if direction == "higher" else "rose"
                 failures.append(
-                    f"{name}: {key[0]} {headers[i]} fell to {cur_val:.2f} "
-                    f"(baseline {base_val:.2f}, allowed floor {floor:.2f})"
+                    f"{name}: {key[0]} {headers[i]} {moved} to {cur_val:.2f} "
+                    f"(baseline {base_val:.2f}, allowed {bound_name} "
+                    f"{bound:.2f})"
                 )
     return report, failures
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
+import threading
 from dataclasses import asdict, dataclass, field
 from typing import Iterator, Sequence
 
@@ -138,12 +139,25 @@ class CacheEntry:
 
 @dataclass
 class CacheStats:
-    """Lifetime tallies of one cache instance (mirrored to HotCounters)."""
+    """Lifetime tallies of one cache instance (mirrored to HotCounters).
+
+    One instance tracks the cache-wide totals; the multi-tenant serving
+    layer additionally keeps one per tenant (see
+    :meth:`PlanCache.tenant_stats`), so a shared cache can report exact
+    per-tenant hit rates.
+    """
 
     hits: int = 0
     misses: int = 0
     promotions: int = 0
     invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when none)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -164,6 +178,16 @@ class PlanCache:
     autosave:
         Persist after every mutation (entries are small; saves are
         atomic).  Turn off for bulk loads and call :meth:`save` once.
+    tenant_quota:
+        When set, the most entries any single tenant may have inserted
+        and still resident; a tenant's insertion over quota evicts that
+        tenant's oldest entry (counted in ``stats.evictions``).  Per
+        tenant overrides via :meth:`set_tenant_quota`.
+
+    Thread safety: all stats accounting and entry mutation happens under
+    one reentrant lock, so concurrent readers under the multi-tenant
+    serving layer observe exact hit/miss/promotion numbers (a bare
+    ``+=`` on the stats object would lose increments under contention).
     """
 
     def __init__(
@@ -172,6 +196,7 @@ class PlanCache:
         fingerprint: str | None = None,
         autosave: bool = True,
         store: PlanStore | None = None,
+        tenant_quota: int | None = None,
     ) -> None:
         if store is None:
             if fingerprint is None:
@@ -182,44 +207,93 @@ class PlanCache:
         self.store = store
         self.autosave = autosave
         self.stats = CacheStats()
+        self._lock = threading.RLock()
         self._entries: dict[PlanKey, CacheEntry] = {}
+        self._tenant_stats: dict[str, CacheStats] = {}
+        self._tenant_keys: dict[str, list[PlanKey]] = {}
+        self._tenant_quotas: dict[str, int] = {}
+        self._default_tenant_quota = tenant_quota
         self.reload()
 
     # -- bookkeeping ----------------------------------------------------------
 
-    def _count(self, event: str, n: int = 1) -> None:
-        setattr(self.stats, event, getattr(self.stats, event) + n)
+    def _count(self, event: str, n: int = 1, tenant: str | None = None) -> None:
+        with self._lock:
+            setattr(self.stats, event, getattr(self.stats, event) + n)
+            if tenant is not None:
+                per_tenant = self._tenant_stats.setdefault(tenant, CacheStats())
+                setattr(per_tenant, event, getattr(per_tenant, event) + n)
         counters = active_hot_counters()
         if counters is not None:
             counters.count_plan_cache(event, n)
+
+    # -- tenants ---------------------------------------------------------------
+
+    def set_tenant_quota(self, tenant: str, max_entries: int | None) -> None:
+        """Cap how many entries *tenant* may keep resident (None: default)."""
+        with self._lock:
+            if max_entries is None:
+                self._tenant_quotas.pop(tenant, None)
+            else:
+                if max_entries < 1:
+                    raise CacheError(
+                        f"tenant quota must be >= 1, got {max_entries}"
+                    )
+                self._tenant_quotas[tenant] = int(max_entries)
+
+    def tenant_quota(self, tenant: str) -> int | None:
+        """The effective entry quota for *tenant* (None: unlimited)."""
+        with self._lock:
+            return self._tenant_quotas.get(tenant, self._default_tenant_quota)
+
+    def tenant_stats(self, tenant: str) -> CacheStats:
+        """Lifetime hit/miss/eviction tallies attributed to *tenant*."""
+        with self._lock:
+            return self._tenant_stats.setdefault(tenant, CacheStats())
+
+    def tenants(self) -> list[str]:
+        """Every tenant that has touched the cache, sorted."""
+        with self._lock:
+            return sorted(self._tenant_stats)
+
+    def tenant_entries(self, tenant: str) -> int:
+        """How many resident entries *tenant* inserted (owned entries)."""
+        with self._lock:
+            return len(self._tenant_keys.get(tenant, []))
 
     @property
     def path(self) -> str:
         return self.store.path
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: PlanKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def items(self) -> Iterator[tuple[PlanKey, CacheEntry]]:
-        return iter(sorted(self._entries.items(), key=lambda kv: kv[0].encode()))
+        with self._lock:
+            snapshot = sorted(
+                self._entries.items(), key=lambda kv: kv[0].encode()
+            )
+        return iter(snapshot)
 
     # -- persistence ----------------------------------------------------------
 
     def reload(self) -> int:
         """(Re)read the store; invalid files invalidate to an empty cache."""
-        self._entries = {}
+        fresh: dict[PlanKey, CacheEntry] = {}
         try:
             raw = self.store.load()
             for key_text, payload in raw.items():
                 key = PlanKey.decode(key_text)
-                self._entries[key] = CacheEntry.from_dict(payload)
+                fresh[key] = CacheEntry.from_dict(payload)
         except (CacheError, PlanError) as exc:
             # One bad entry poisons the file: a partially trusted cache
             # is worse than none.  Count it, log it, start estimating.
-            self._entries = {}
+            fresh = {}
             self._count("invalidations")
             log.warning(
                 "ignoring plan cache %s (%s: %s); falling back to the "
@@ -228,7 +302,10 @@ class PlanCache:
                 type(exc).__name__,
                 exc,
             )
-        return len(self._entries)
+        with self._lock:
+            self._entries = fresh
+            self._tenant_keys = {}
+            return len(self._entries)
 
     def save(self) -> None:
         self.store.save(
@@ -241,21 +318,25 @@ class PlanCache:
 
     def clear(self) -> int:
         """Drop every entry and delete the store file; returns the count."""
-        dropped = len(self._entries)
-        self._entries = {}
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries = {}
+            self._tenant_keys = {}
         self.store.clear()
         return dropped
 
     # -- the cache proper ------------------------------------------------------
 
-    def get(self, key: PlanKey) -> CacheEntry | None:
-        entry = self._entries.get(key)
-        self._count("hits" if entry is not None else "misses")
-        return entry
+    def get(self, key: PlanKey, tenant: str | None = None) -> CacheEntry | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            self._count("hits" if entry is not None else "misses", tenant=tenant)
+            return entry
 
     def peek(self, key: PlanKey) -> CacheEntry | None:
         """Like :meth:`get` but without touching the hit/miss stats."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def put(
         self,
@@ -263,47 +344,72 @@ class PlanCache:
         plan: TtmPlan,
         source: str = "estimator",
         seconds: float | None = None,
+        tenant: str | None = None,
     ) -> CacheEntry:
         entry = CacheEntry(plan=plan, source=source, seconds=seconds)
         if seconds is not None:
             entry.trials[plan_digest(plan)] = float(seconds)
-        self._entries[key] = entry
-        self._autosave()
+        with self._lock:
+            if tenant is not None and key not in self._entries:
+                self._charge_tenant_insert(key, tenant)
+            self._entries[key] = entry
+            self._autosave()
         return entry
+
+    def _charge_tenant_insert(self, key: PlanKey, tenant: str) -> None:
+        """Record *tenant* inserting *key*, evicting over quota (locked)."""
+        owned = self._tenant_keys.setdefault(tenant, [])
+        if key in owned:
+            return
+        quota = self._tenant_quotas.get(tenant, self._default_tenant_quota)
+        while quota is not None and len(owned) >= quota:
+            oldest = owned.pop(0)
+            if self._entries.pop(oldest, None) is not None:
+                self._count("evictions", tenant=tenant)
+                log.info(
+                    "tenant %s over plan-cache quota (%d); evicted %s",
+                    tenant,
+                    quota,
+                    oldest.encode(),
+                )
+        owned.append(key)
 
     def record_trial(self, key: PlanKey, plan: TtmPlan, seconds: float) -> None:
         """Fold one measurement into a key's evidence (keeps the minimum)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            raise CacheError(f"no cache entry for {key.encode()!r}")
-        digest = plan_digest(plan)
-        best = entry.trials.get(digest)
-        if best is None or seconds < best:
-            entry.trials[digest] = float(seconds)
-        if digest == plan_digest(entry.plan):
-            entry.seconds = entry.trials[digest]
-        self._autosave()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                raise CacheError(f"no cache entry for {key.encode()!r}")
+            digest = plan_digest(plan)
+            best = entry.trials.get(digest)
+            if best is None or seconds < best:
+                entry.trials[digest] = float(seconds)
+            if digest == plan_digest(entry.plan):
+                entry.seconds = entry.trials[digest]
+            self._autosave()
 
     def promote(self, key: PlanKey, plan: TtmPlan, seconds: float) -> CacheEntry:
         """Install a measured winner over the current decision for *key*."""
-        entry = self._entries.get(key)
-        if entry is None:
-            entry = self._entries[key] = CacheEntry(plan=plan)
-        log.info(
-            "promoting measured plan for %s: %.3g s (was %s, %s s)",
-            key.encode(),
-            seconds,
-            entry.source,
-            "un-timed" if entry.seconds is None else f"{entry.seconds:.3g}",
-        )
-        entry.plan = plan
-        entry.source = "measured"
-        entry.seconds = float(seconds)
-        entry.trials[plan_digest(plan)] = min(
-            float(seconds), entry.trials.get(plan_digest(plan), float("inf"))
-        )
-        self._count("promotions")
-        self._autosave()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = self._entries[key] = CacheEntry(plan=plan)
+            log.info(
+                "promoting measured plan for %s: %.3g s (was %s, %s s)",
+                key.encode(),
+                seconds,
+                entry.source,
+                "un-timed" if entry.seconds is None else f"{entry.seconds:.3g}",
+            )
+            entry.plan = plan
+            entry.source = "measured"
+            entry.seconds = float(seconds)
+            entry.trials[plan_digest(plan)] = min(
+                float(seconds),
+                entry.trials.get(plan_digest(plan), float("inf")),
+            )
+            self._count("promotions")
+            self._autosave()
         return entry
 
     # -- InTensLi plan-source protocol ----------------------------------------
@@ -316,9 +422,12 @@ class PlanCache:
         layout: Layout | str,
         threads: int,
         dtype: str = "float64",
+        tenant: str | None = None,
     ) -> TtmPlan | None:
         """Duck-typed lookup used by ``InTensLi.attach_plan_cache``."""
-        entry = self.get(PlanKey.make(shape, mode, j, layout, threads, dtype))
+        entry = self.get(
+            PlanKey.make(shape, mode, j, layout, threads, dtype), tenant=tenant
+        )
         return entry.plan if entry is not None else None
 
     def put_plan(
@@ -331,7 +440,11 @@ class PlanCache:
         plan: TtmPlan,
         source: str = "estimator",
         dtype: str = "float64",
+        tenant: str | None = None,
     ) -> None:
         self.put(
-            PlanKey.make(shape, mode, j, layout, threads, dtype), plan, source
+            PlanKey.make(shape, mode, j, layout, threads, dtype),
+            plan,
+            source,
+            tenant=tenant,
         )

@@ -25,6 +25,14 @@ Commands
     Run a demo workload under the :mod:`repro.obs` tracer, print the
     span tree, and optionally export Chrome-trace / JSON-lines files
     (``--chrome trace.json`` loads in ``chrome://tracing``/Perfetto).
+``serve``
+    Run the multi-tenant serving engine against a deterministic trace
+    and print a load report (``--verify`` checks every result against
+    the Algorithm-1 oracle; ``--fail-on-shed`` makes any shed or wrong
+    result a non-zero exit — the CI smoke gate).
+``loadgen OUT.json``
+    Generate a deterministic multi-tenant request trace for ``serve
+    --trace`` (the ramulator2 ``gen_trace.py`` pattern).
 """
 
 from __future__ import annotations
@@ -59,6 +67,7 @@ _BENCHES = {
     "ablation-kernels": "bench_ablation_kernels",
     "ablation-threads": "bench_ablation_threads",
     "dtype": "bench_dtype",
+    "serving": "bench_serving",
 }
 
 
@@ -322,6 +331,100 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _load_or_generate_trace(args):
+    from repro.serve.workload import default_tenants, generate_trace, load_trace
+
+    if getattr(args, "trace", None):
+        return load_trace(args.trace)
+    return generate_trace(
+        default_tenants(args.tenants),
+        args.requests,
+        seed=args.seed,
+        pattern=args.pattern,
+    )
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.obs import Tracer, tracing, write_chrome_trace
+    from repro.serve import ServeConfig, TtmServer
+    from repro.serve.workload import replay
+
+    trace = _load_or_generate_trace(args)
+    config = ServeConfig(
+        max_inflight=max(args.concurrency * 4, 64),
+        max_batch=args.max_batch,
+        batch_window_s=args.window,
+        workers=args.workers,
+        coalesce=not args.no_coalesce,
+        default_deadline_s=args.deadline,
+        watchdog_s=args.watchdog,
+        max_threads=args.threads,
+    )
+    tracer = Tracer() if args.chrome else None
+
+    async def _run():
+        server = TtmServer(config=config)
+        await server.start()
+        try:
+            return await replay(
+                server,
+                trace,
+                concurrency=args.concurrency,
+                open_loop=args.open_loop,
+                verify=args.verify,
+            )
+        finally:
+            await server.stop()
+
+    if tracer is not None:
+        with tracing(tracer):
+            report = asyncio.run(_run())
+    else:
+        report = asyncio.run(_run())
+    print(report.describe())
+    if args.report:
+        report.save(args.report)
+        print(f"\nwrote load report to {args.report}")
+    if args.chrome:
+        spans = tracer.collector.spans()
+        write_chrome_trace(spans, args.chrome)
+        print(f"wrote Chrome trace ({len(spans)} spans) to {args.chrome}")
+    if args.fail_on_shed and (report.shed["total"] or report.wrong):
+        print(
+            f"error: {report.shed['total']} shed, {report.wrong} wrong "
+            "results with --fail-on-shed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    from collections import Counter
+
+    from repro.serve.workload import default_tenants, generate_trace, save_trace
+
+    trace = generate_trace(
+        default_tenants(args.tenants),
+        args.requests,
+        seed=args.seed,
+        pattern=args.pattern,
+        rate_hz=args.rate,
+    )
+    save_trace(trace, args.output)
+    mix = Counter(entry.tenant for entry in trace)
+    span = trace[-1].issue_s - trace[0].issue_s if len(trace) > 1 else 0.0
+    print(
+        f"wrote {len(trace)} requests ({args.pattern}, seed {args.seed}, "
+        f"{span:.3f}s span) to {args.output}"
+    )
+    for tenant in sorted(mix):
+        print(f"  {tenant:<12} {mix[tenant]:>6} requests")
+    return 0
+
+
 def cmd_bench(args) -> int:
     if args.name == "list":
         for name in sorted(_BENCHES):
@@ -448,6 +551,83 @@ def build_parser() -> argparse.ArgumentParser:
         "exchange rule), optimal (flop DP), given (as written)",
     )
     chain.set_defaults(fn=cmd_explain)
+
+    serve = sub.add_parser(
+        "serve", help="replay a request trace through the serving engine"
+    )
+    serve.add_argument(
+        "--requests", type=int, default=2000,
+        help="requests to generate when --trace is not given",
+    )
+    serve.add_argument("--tenants", type=int, default=4)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--pattern", default="random", choices=["random", "stream"]
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="replay a trace written by 'loadgen' instead of generating one",
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=64,
+        help="closed-loop in-flight submission cap",
+    )
+    serve.add_argument(
+        "--open-loop", action="store_true",
+        help="fire requests at trace timestamps (can overload the server)",
+    )
+    serve.add_argument(
+        "--verify", action="store_true",
+        help="check every result against the Algorithm-1 oracle",
+    )
+    serve.add_argument(
+        "--fail-on-shed", action="store_true",
+        help="exit 1 on any shed or wrong result (the CI smoke gate)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request latency budget (default: none)",
+    )
+    serve.add_argument(
+        "--watchdog", type=float, default=None, metavar="SECONDS",
+        help="batch execution watchdog (default: none)",
+    )
+    serve.add_argument(
+        "--window", type=float, default=0.002, metavar="SECONDS",
+        help="micro-batch collection window",
+    )
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="serve every request individually (the unbatched baseline)",
+    )
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--threads", type=int, default=1)
+    serve.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the load report as JSON",
+    )
+    serve.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="export per-request span trees as a Chrome trace",
+    )
+    serve.set_defaults(fn=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="generate a deterministic multi-tenant request trace"
+    )
+    loadgen.add_argument("output", help="output trace JSON path")
+    loadgen.add_argument("--requests", type=int, default=2000)
+    loadgen.add_argument("--tenants", type=int, default=4)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--pattern", default="random", choices=["random", "stream"]
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=2000.0, metavar="HZ",
+        help="mean arrival rate encoded in the trace timestamps",
+    )
+    loadgen.set_defaults(fn=cmd_loadgen)
 
     bench = sub.add_parser("bench", help="run one paper experiment")
     bench.add_argument("name", help="experiment id (or 'list')")

@@ -21,6 +21,7 @@ Or from the shell: ``python -m repro trace ttm --chrome trace.json``.
 
 from repro.obs.tracer import (
     NULL_TRACER,
+    ROOT,
     NullTracer,
     Span,
     SpanCollector,
@@ -43,6 +44,7 @@ from repro.obs.validate import (
 
 __all__ = [
     "NULL_TRACER",
+    "ROOT",
     "NullTracer",
     "Span",
     "SpanCollector",

@@ -128,6 +128,21 @@ class _NullSpanContext:
 
 _NULL_SPAN_CONTEXT = _NullSpanContext()
 
+#: Sentinel parent that forces a span to start a *new root tree*, no
+#: matter what spans are open on the calling thread.  The serving layer
+#: (:mod:`repro.serve`) executes many tenants' requests on a small pool
+#: of shared worker threads; passing ``parent=ROOT`` gives each request
+#: (or coalesced batch) its own span tree instead of nesting it under
+#: whatever the thread happened to be doing.
+ROOT = Span(
+    name="<root>",
+    span_id=0,
+    parent_id=None,
+    thread_id=0,
+    thread_name="",
+    start=0.0,
+)
+
 
 class NullTracer:
     """The default tracer: every operation is a no-op.
@@ -186,10 +201,13 @@ class Tracer:
 
         The parent defaults to the current span of the calling thread;
         pass *parent* explicitly to attach work running on a worker
-        thread to the span that dispatched it.
+        thread to the span that dispatched it, or :data:`ROOT` to force
+        a fresh root tree regardless of what this thread has open.
         """
         stack = self._stack()
-        if parent is None and stack:
+        if parent is ROOT:
+            parent = None
+        elif parent is None and stack:
             parent = stack[-1]
         thread = threading.current_thread()
         span = Span(

@@ -140,6 +140,7 @@ class HotCounters:
     plan_cache_misses: int = 0
     plan_cache_promotions: int = 0
     plan_cache_invalidations: int = 0
+    plan_cache_evictions: int = 0
     kernel_fallbacks: int = 0
     pool_replacements: int = 0
     serial_degradations: int = 0
@@ -239,6 +240,7 @@ class HotCounters:
                 "plan_cache_misses": self.plan_cache_misses,
                 "plan_cache_promotions": self.plan_cache_promotions,
                 "plan_cache_invalidations": self.plan_cache_invalidations,
+                "plan_cache_evictions": self.plan_cache_evictions,
                 "kernel_fallbacks": self.kernel_fallbacks,
                 "pool_replacements": self.pool_replacements,
                 "serial_degradations": self.serial_degradations,

@@ -1,0 +1,122 @@
+"""Admission control: bound what the serving engine ever takes on.
+
+Load shedding happens *at the door*, not after resources are committed:
+a request is admitted only when the server-wide in-flight count and the
+submitting tenant's share both have room, and a refused request costs
+one counter increment and a typed
+:class:`~repro.util.errors.OverloadError` — no queue entry, no operand
+staging, no plan lookup.  This is the first rung of the degradation
+ladder (DESIGN.md §12): under overload the system stays correct and
+bounded by doing strictly less work.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.util.errors import OverloadError
+
+
+class AdmissionController:
+    """Server-wide and per-tenant in-flight caps with shed accounting.
+
+    Parameters
+    ----------
+    max_inflight:
+        Most requests admitted but not yet resolved, across all tenants.
+    tenant_inflight:
+        Most in-flight requests any single tenant may hold; None means a
+        tenant is bounded only by the server-wide cap.  This is what
+        keeps one chatty tenant from starving the rest: a full tenant
+        share sheds with reason ``"tenant-quota"`` while other tenants'
+        requests still clear admission.
+
+    Thread-safe; the asyncio front-end and test drivers on other threads
+    may admit/release concurrently.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 256,
+        tenant_inflight: int | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if tenant_inflight is not None and tenant_inflight < 1:
+            raise ValueError(
+                f"tenant_inflight must be >= 1, got {tenant_inflight}"
+            )
+        self.max_inflight = max_inflight
+        self.tenant_inflight = tenant_inflight
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._tenant_inflight: dict[str, int] = {}
+        self.admitted = 0
+        self.rejected: dict[str, int] = {"admission": 0, "tenant-quota": 0}
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently admitted and unresolved (all tenants)."""
+        with self._lock:
+            return self._inflight
+
+    def tenant_load(self, tenant: str) -> int:
+        """*tenant*'s currently admitted, unresolved requests."""
+        with self._lock:
+            return self._tenant_inflight.get(tenant, 0)
+
+    def admit(self, tenant: str) -> None:
+        """Take one in-flight slot for *tenant* or shed the request.
+
+        Raises :class:`OverloadError` with ``reason="admission"`` when
+        the server is at capacity and ``reason="tenant-quota"`` when
+        only the tenant's share is exhausted.  On success the slot is
+        held until :meth:`release`.
+        """
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self.rejected["admission"] += 1
+                raise OverloadError(
+                    f"server at capacity ({self.max_inflight} in flight); "
+                    f"request from tenant {tenant!r} shed",
+                    reason="admission",
+                    tenant=tenant,
+                )
+            held = self._tenant_inflight.get(tenant, 0)
+            if self.tenant_inflight is not None and held >= self.tenant_inflight:
+                self.rejected["tenant-quota"] += 1
+                raise OverloadError(
+                    f"tenant {tenant!r} at its in-flight quota "
+                    f"({self.tenant_inflight}); request shed",
+                    reason="tenant-quota",
+                    tenant=tenant,
+                )
+            self._inflight += 1
+            self._tenant_inflight[tenant] = held + 1
+            self.admitted += 1
+
+    def release(self, tenant: str) -> None:
+        """Return *tenant*'s slot (called exactly once per admitted request)."""
+        with self._lock:
+            if self._inflight <= 0:
+                raise OverloadError(
+                    "release without a matching admit", reason="accounting"
+                )
+            self._inflight -= 1
+            held = self._tenant_inflight.get(tenant, 0)
+            if held <= 1:
+                self._tenant_inflight.pop(tenant, None)
+            else:
+                self._tenant_inflight[tenant] = held - 1
+
+    def snapshot(self) -> dict:
+        """JSON-safe admission telemetry for reports."""
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "tenant_inflight": self.tenant_inflight,
+                "inflight": self._inflight,
+                "admitted": self.admitted,
+                "rejected": dict(self.rejected),
+                "per_tenant_inflight": dict(self._tenant_inflight),
+            }

@@ -78,6 +78,21 @@ class DenseTensor:
     # -- constructors ------------------------------------------------------
 
     @classmethod
+    def _wrap(cls, data: np.ndarray, layout: Layout) -> "DenseTensor":
+        """Wrap *data* without re-validating (internal hot paths only).
+
+        The caller guarantees *data* is already contiguous in *layout*
+        order with a supported dtype — e.g. a slice it just allocated.
+        Skips the ``__init__`` checks, which dominate the cost of
+        constructing many small tensors (the serving coalescer's case).
+        """
+        self = object.__new__(cls)
+        self._data = data
+        self._layout = layout
+        self._strides = element_strides(data.shape, layout)
+        return self
+
+    @classmethod
     def zeros(
         cls,
         shape: Sequence[int],

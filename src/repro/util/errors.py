@@ -85,6 +85,29 @@ class NumericError(ReproError, ArithmeticError):
     """
 
 
+class OverloadError(ReproError, RuntimeError):
+    """A serving request was shed instead of executed.
+
+    Raised by :class:`repro.serve.TtmServer` when admission control
+    refuses a request (server or tenant at capacity), when a queued
+    request's deadline expires before dispatch, or when the serving
+    watchdog gives up on a stuck batch.  ``reason`` distinguishes the
+    three (``"admission"``, ``"tenant-quota"``, ``"deadline"``,
+    ``"watchdog"``) so load reports can attribute every shed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "overload",
+        tenant: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.tenant = tenant
+
+
 class StoreCorruptError(CacheError, PlanError):
     """A cache file is unreadable: truncated, invalid JSON, wrong types."""
 

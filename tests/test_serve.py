@@ -1,0 +1,616 @@
+"""Tests for the multi-tenant TTM serving engine (``repro.serve``).
+
+Covers the serving contract end to end: admission control bounds what
+the server takes on (server-wide and per-tenant), coalesced fleets
+compute exactly what the per-request Algorithm-1 oracle computes (the
+Hypothesis property), the shared plan cache enforces per-tenant quotas
+with exact per-tenant hit accounting under concurrent readers, and the
+degradation ladder sheds load with typed ``OverloadError``\\ s —
+deadlines under an injected slow kernel, the serving watchdog, and
+memory pressure degrading a fleet to guarded per-request execution.
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autotune import PlanCache, PlanKey, PlanStore
+from repro.baselines import ttm_copy
+from repro.core.inttm import default_plan
+from repro.obs import ROOT, Tracer, tracing
+from repro.resilience import FaultInjector, fault_injection
+from repro.serve import (
+    AdmissionController,
+    OverloadError,
+    ServeConfig,
+    TtmServer,
+    execute_fleet,
+    fleet_staging_bytes,
+    signature_of,
+)
+from repro.serve.request import TtmRequest
+from repro.serve.workload import (
+    TraceEntry,
+    default_tenants,
+    generate_trace,
+    load_trace,
+    materialize,
+    replay,
+    save_trace,
+)
+from repro.tensor.dense import DenseTensor
+from repro.tensor.layout import Layout
+from repro.util.errors import ShapeError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_request(shape, mode, j, seed=0, tenant="t", dtype=np.float32,
+                 layout=Layout.ROW_MAJOR):
+    rng = np.random.default_rng(seed)
+    order = "C" if layout is Layout.ROW_MAJOR else "F"
+    data = np.asarray(
+        rng.standard_normal(shape).astype(dtype), order=order
+    )
+    u = rng.standard_normal((j, shape[mode])).astype(dtype)
+    return TtmRequest(
+        tenant=tenant, x=DenseTensor(data, layout), u=u, mode=mode,
+        request_id=seed,
+    )
+
+
+async def serving(config=None, **kwargs):
+    server = TtmServer(config=config or ServeConfig(**kwargs))
+    await server.start()
+    return server
+
+
+# -- admission control ---------------------------------------------------------
+
+
+class TestAdmission:
+    def test_server_wide_cap(self):
+        ctl = AdmissionController(max_inflight=2)
+        ctl.admit("a")
+        ctl.admit("b")
+        with pytest.raises(OverloadError) as info:
+            ctl.admit("c")
+        assert info.value.reason == "admission"
+        assert info.value.tenant == "c"
+        ctl.release("a")
+        ctl.admit("c")  # slot freed; admits again
+        assert ctl.inflight == 2
+        assert ctl.admitted == 3
+        assert ctl.rejected["admission"] == 1
+
+    def test_per_tenant_quota(self):
+        ctl = AdmissionController(max_inflight=10, tenant_inflight=2)
+        ctl.admit("greedy")
+        ctl.admit("greedy")
+        with pytest.raises(OverloadError) as info:
+            ctl.admit("greedy")
+        assert info.value.reason == "tenant-quota"
+        assert info.value.tenant == "greedy"
+        # Other tenants still clear admission: the quota isolates, it
+        # does not shut the door.
+        ctl.admit("polite")
+        assert ctl.tenant_load("greedy") == 2
+        assert ctl.tenant_load("polite") == 1
+        assert ctl.rejected["tenant-quota"] == 1
+
+    def test_release_without_admit_is_typed(self):
+        ctl = AdmissionController()
+        with pytest.raises(OverloadError):
+            ctl.release("ghost")
+
+    def test_invalid_limits(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(tenant_inflight=0)
+
+    def test_snapshot_shape(self):
+        ctl = AdmissionController(max_inflight=4, tenant_inflight=2)
+        ctl.admit("a")
+        snap = ctl.snapshot()
+        assert snap["inflight"] == 1
+        assert snap["per_tenant_inflight"] == {"a": 1}
+        assert snap["max_inflight"] == 4
+
+
+# -- coalescing correctness ----------------------------------------------------
+
+
+class TestFleet:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        shape=st.lists(st.integers(2, 8), min_size=2, max_size=4).map(tuple),
+        data=st.data(),
+        batch=st.integers(1, 6),
+        layout=st.sampled_from([Layout.ROW_MAJOR, Layout.COL_MAJOR]),
+        dtype=st.sampled_from([np.float32, np.float64]),
+    )
+    def test_fleet_matches_per_request_oracle(
+        self, shape, data, batch, layout, dtype
+    ):
+        """The coalesced batch computes exactly what B oracle calls do."""
+        mode = data.draw(st.integers(0, len(shape) - 1))
+        j = data.draw(st.integers(1, 6))
+        requests = [
+            make_request(shape, mode, j, seed=i, layout=layout, dtype=dtype)
+            for i in range(batch)
+        ]
+        results = execute_fleet(signature_of(requests[0]), requests)
+        tol = 1e-5 if dtype is np.float32 else 1e-12
+        for request, y in zip(requests, results):
+            expected = ttm_copy(request.x, request.u, mode)
+            assert y.shape == expected.shape
+            assert y.layout is request.x.layout
+            np.testing.assert_allclose(
+                y.data, expected.data, rtol=tol, atol=tol
+            )
+
+    def test_signature_mismatch_rejected(self):
+        a = make_request((4, 5, 6), 1, 3, seed=0)
+        b = make_request((4, 5, 7), 1, 3, seed=1)
+        with pytest.raises(ShapeError):
+            execute_fleet(signature_of(a), [a, b])
+
+    def test_staging_bytes_price_the_three_buffers(self):
+        request = make_request((4, 5, 6), 1, 3)
+        sig = signature_of(request)
+        per = np.dtype(np.float32).itemsize * (3 * 5 + 5 * 24 + 3 * 24)
+        assert fleet_staging_bytes(sig, 7) == 7 * per
+
+    def test_empty_fleet(self):
+        request = make_request((4, 5, 6), 1, 3)
+        assert execute_fleet(signature_of(request), []) == []
+
+
+# -- tenant-aware plan cache ---------------------------------------------------
+
+
+class TestTenantPlanCache:
+    def make_cache(self, tmp_path, quota=None):
+        return PlanCache(
+            store=PlanStore(str(tmp_path / "plans.json")),
+            autosave=False,
+            tenant_quota=quota,
+        )
+
+    def key(self, i=0, shape=(6, 7, 8)):
+        return PlanKey.make(shape, 0, 4 + i, Layout.ROW_MAJOR, 1, "float64")
+
+    def plan(self, shape=(6, 7, 8), j=4):
+        return default_plan(shape, 0, j, Layout.ROW_MAJOR)
+
+    def test_per_tenant_hit_accounting(self, tmp_path):
+        cache = self.make_cache(tmp_path)
+        key = self.key()
+        assert cache.get(key, tenant="a") is None
+        cache.put(key, self.plan(), tenant="a")
+        assert cache.get(key, tenant="a") is not None
+        assert cache.get(key, tenant="b") is not None
+        a, b = cache.tenant_stats("a"), cache.tenant_stats("b")
+        assert (a.hits, a.misses) == (1, 1)
+        assert (b.hits, b.misses) == (1, 0)
+        assert cache.stats.hits == 2
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_tenant_quota_evicts_oldest_owned_entry(self, tmp_path):
+        cache = self.make_cache(tmp_path, quota=2)
+        for i in range(3):
+            cache.put(self.key(i), self.plan(j=4 + i), tenant="a")
+        assert len(cache) == 2
+        assert cache.peek(self.key(0)) is None  # oldest evicted
+        assert cache.peek(self.key(2)) is not None
+        assert cache.tenant_stats("a").evictions == 1
+        # Another tenant is untouched by tenant a's quota.
+        cache.put(self.key(7), self.plan(j=11), tenant="b")
+        assert cache.peek(self.key(7)) is not None
+
+    def test_stats_atomic_under_concurrent_readers(self, tmp_path):
+        """N threads hammering one key lose no hit/miss increments."""
+        cache = self.make_cache(tmp_path)
+        key = self.key()
+        cache.put(key, self.plan(), tenant="seed")
+        threads, per_thread = 8, 200
+        barrier = threading.Barrier(threads)
+
+        def reader(tenant):
+            barrier.wait()
+            for _ in range(per_thread):
+                cache.get(key, tenant=tenant)
+
+        pool = [
+            threading.Thread(target=reader, args=(f"t{i % 4}",))
+            for i in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert cache.stats.hits == threads * per_thread
+        per_tenant = sum(
+            cache.tenant_stats(t).hits for t in cache.tenants()
+        )
+        assert per_tenant == threads * per_thread
+
+
+# -- the server ----------------------------------------------------------------
+
+
+class TestServer:
+    def test_serves_and_coalesces(self):
+        async def scenario():
+            server = await serving(max_batch=16, batch_window_s=0.002)
+            try:
+                results = await asyncio.gather(
+                    *(
+                        server.submit(
+                            *materialize(entry)[:2],
+                            entry.mode,
+                            tenant=entry.tenant,
+                        )
+                        for entry in generate_trace(
+                            default_tenants(4), 48, seed=3
+                        )
+                    )
+                )
+            finally:
+                await server.stop()
+            return server, results
+
+        server, results = run(scenario())
+        assert len(results) == 48
+        assert server.stats.completed == 48
+        assert server.stats.shed_total == 0
+        assert max(r.batch_size for r in results) > 1
+
+    def test_results_match_oracle_through_server(self):
+        async def scenario():
+            server = await serving(max_batch=8)
+            trace = generate_trace(default_tenants(2), 24, seed=5)
+            try:
+                report = await replay(
+                    server, trace, concurrency=8, verify=True
+                )
+            finally:
+                await server.stop()
+            return report
+
+        report = run(scenario())
+        assert report.completed == 24
+        assert report.wrong == 0
+        assert report.shed["total"] == 0
+
+    def test_admission_shed_when_saturated(self):
+        async def scenario():
+            server = await serving(
+                max_inflight=2, max_batch=4, batch_window_s=0.01
+            )
+            request = make_request((8, 8, 8), 1, 4)
+            try:
+                outcomes = await asyncio.gather(
+                    *(
+                        server.submit(request.x, request.u, 1, tenant="t")
+                        for _ in range(16)
+                    ),
+                    return_exceptions=True,
+                )
+            finally:
+                await server.stop()
+            return server, outcomes
+
+        server, outcomes = run(scenario())
+        shed = [o for o in outcomes if isinstance(o, OverloadError)]
+        served = [o for o in outcomes if not isinstance(o, BaseException)]
+        assert shed and served
+        assert all(o.reason == "admission" for o in shed)
+        assert server.stats.shed_admission == len(shed)
+
+    def test_tenant_quota_isolates_tenants(self):
+        async def scenario():
+            server = await serving(
+                max_inflight=64, tenant_inflight=1, batch_window_s=0.01
+            )
+            request = make_request((8, 8, 8), 1, 4)
+            try:
+                greedy = asyncio.gather(
+                    *(
+                        server.submit(request.x, request.u, 1, tenant="greedy")
+                        for _ in range(8)
+                    ),
+                    return_exceptions=True,
+                )
+                polite = server.submit(
+                    request.x, request.u, 1, tenant="polite"
+                )
+                greedy_out, polite_out = await asyncio.gather(
+                    greedy, polite
+                )
+            finally:
+                await server.stop()
+            return greedy_out, polite_out
+
+        greedy_out, polite_out = run(scenario())
+        quota_shed = [
+            o
+            for o in greedy_out
+            if isinstance(o, OverloadError) and o.reason == "tenant-quota"
+        ]
+        assert quota_shed, "greedy tenant was never limited"
+        assert polite_out.y is not None  # other tenant unaffected
+
+    def test_deadline_shed_under_slow_kernel(self):
+        """An injected slow kernel backs the pool up; late work sheds."""
+        faults = FaultInjector().arm(
+            "kernel-raise", delay=0.05, times=10_000
+        )
+
+        async def scenario():
+            server = await serving(
+                workers=1,
+                max_batch=2,
+                batch_window_s=0.0,
+                default_deadline_s=0.08,
+            )
+            request = make_request((8, 8, 8), 1, 4)
+            try:
+                outcomes = await asyncio.gather(
+                    *(
+                        server.submit(request.x, request.u, 1, tenant="t")
+                        for _ in range(12)
+                    ),
+                    return_exceptions=True,
+                )
+            finally:
+                await server.stop()
+            return server, outcomes
+
+        with fault_injection(faults):
+            server, outcomes = run(scenario())
+        shed = [
+            o
+            for o in outcomes
+            if isinstance(o, OverloadError) and o.reason == "deadline"
+        ]
+        served = [o for o in outcomes if not isinstance(o, BaseException)]
+        assert shed, "no deadline sheds despite a backed-up pool"
+        assert served, "everything shed; deadline budget unrealistic"
+        assert server.stats.shed_deadline == len(shed)
+        assert faults.count("kernel-raise") > 0
+
+    def test_watchdog_sheds_a_stuck_batch(self):
+        faults = FaultInjector().arm(
+            "kernel-raise", delay=0.5, times=10_000
+        )
+
+        async def scenario():
+            server = await serving(
+                workers=1, max_batch=4, watchdog_s=0.05
+            )
+            request = make_request((8, 8, 8), 1, 4)
+            try:
+                outcomes = await asyncio.gather(
+                    *(
+                        server.submit(request.x, request.u, 1, tenant="t")
+                        for _ in range(3)
+                    ),
+                    return_exceptions=True,
+                )
+            finally:
+                await server.stop()
+            return server, outcomes
+
+        with fault_injection(faults):
+            server, outcomes = run(scenario())
+        assert all(
+            isinstance(o, OverloadError) and o.reason == "watchdog"
+            for o in outcomes
+        )
+        assert server.stats.shed_watchdog == len(outcomes)
+
+    def test_memory_pressure_degrades_to_per_request(self, monkeypatch):
+        """A byte budget too small for the fleet's staging buffers (but
+        enough for one request's working set) degrades the batch to
+        guarded per-request execution; every result still arrives and
+        still matches the oracle."""
+        monkeypatch.setenv("REPRO_MEM_LIMIT", "4096")
+
+        async def scenario():
+            server = await serving(max_batch=8, batch_window_s=0.01)
+            requests = [
+                make_request((6, 7, 8), 1, 4, seed=i) for i in range(6)
+            ]
+            try:
+                results = await asyncio.gather(
+                    *(
+                        server.submit(r.x, r.u, 1, tenant="t")
+                        for r in requests
+                    )
+                )
+            finally:
+                await server.stop()
+            return server, requests, results
+
+        server, requests, results = run(scenario())
+        assert server.stats.batched_requests == 0
+        assert server.stats.batch_fallbacks > 0
+        for request, result in zip(requests, results):
+            expected = ttm_copy(request.x, request.u, 1)
+            np.testing.assert_allclose(
+                result.y.data, expected.data, rtol=1e-4, atol=1e-4
+            )
+
+    def test_submit_validates_operands(self):
+        async def scenario():
+            server = await serving()
+            request = make_request((6, 7, 8), 1, 4)
+            try:
+                with pytest.raises(ShapeError):
+                    await server.submit(
+                        request.x, request.u[:, :-1], 1, tenant="t"
+                    )
+                with pytest.raises(ShapeError):
+                    await server.submit(request.x, request.u, 9, tenant="t")
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_submit_after_stop_is_typed(self):
+        async def scenario():
+            server = await serving()
+            await server.stop()
+            request = make_request((6, 7, 8), 1, 4)
+            with pytest.raises(OverloadError) as info:
+                await server.submit(request.x, request.u, 1, tenant="t")
+            return info.value
+
+        assert run(scenario()).reason == "lifecycle"
+
+    def test_tenant_hit_rates_are_exact(self):
+        """Tenant b's first request hits the plan tenant a published."""
+
+        async def scenario():
+            server = await serving(max_batch=4, batch_window_s=0.0)
+            request = make_request((8, 8, 8), 1, 4)
+            try:
+                await server.submit(request.x, request.u, 1, tenant="a")
+                await server.submit(request.x, request.u, 1, tenant="a")
+                await server.submit(request.x, request.u, 1, tenant="b")
+            finally:
+                await server.stop()
+            return server
+
+        server = run(scenario())
+        a = server.plan_cache.tenant_stats("a")
+        b = server.plan_cache.tenant_stats("b")
+        assert (a.hits, a.misses) == (1, 1)
+        assert (b.hits, b.misses) == (1, 0)
+
+    def test_serve_batch_spans_are_rooted(self):
+        """Worker-thread batches trace as ROOT-parented span trees."""
+        tracer = Tracer()
+
+        async def scenario():
+            server = await serving(max_batch=8, batch_window_s=0.005)
+            request = make_request((8, 8, 8), 1, 4)
+            try:
+                await asyncio.gather(
+                    *(
+                        server.submit(request.x, request.u, 1, tenant="t")
+                        for _ in range(4)
+                    )
+                )
+            finally:
+                await server.stop()
+
+        with tracing(tracer):
+            run(scenario())
+        spans = tracer.collector.spans()
+        batches = [s for s in spans if s.name == "serve-batch"]
+        leaves = [s for s in spans if s.name == "request"]
+        assert batches and leaves
+        assert all(s.parent_id is None for s in batches)
+        batch_ids = {s.span_id for s in batches}
+        assert all(s.parent_id in batch_ids for s in leaves)
+
+
+# -- ROOT sentinel -------------------------------------------------------------
+
+
+def test_root_sentinel_forces_root_span():
+    tracer = Tracer()
+    with tracing(tracer):
+        with tracer.span("outer"):
+            with tracer.span("forced-root", parent=ROOT):
+                with tracer.span("child"):
+                    pass
+    by_name = {s.name: s for s in tracer.collector.spans()}
+    assert by_name["forced-root"].parent_id is None
+    assert by_name["child"].parent_id == by_name["forced-root"].span_id
+
+
+# -- workload harness ----------------------------------------------------------
+
+
+class TestWorkload:
+    def test_trace_is_deterministic(self):
+        a = generate_trace(default_tenants(4), 64, seed=9)
+        b = generate_trace(default_tenants(4), 64, seed=9)
+        assert a == b
+        c = generate_trace(default_tenants(4), 64, seed=10)
+        assert a != c
+
+    def test_trace_roundtrips_through_json(self, tmp_path):
+        trace = generate_trace(default_tenants(3), 32, seed=1)
+        path = str(tmp_path / "trace.json")
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_stream_pattern_respects_weights(self):
+        tenants = default_tenants(4)
+        trace = generate_trace(
+            tenants, 200, seed=0, pattern="stream"
+        )
+        counts = {t.name: 0 for t in tenants}
+        for entry in trace:
+            counts[entry.tenant] += 1
+        total_weight = sum(t.weight for t in tenants)
+        for t in tenants:
+            expected = 200 * t.weight / total_weight
+            assert abs(counts[t.name] - expected) <= 2
+        # Evenly spaced, monotonically increasing arrivals.
+        gaps = [
+            b.issue_s - a.issue_s for a, b in zip(trace, trace[1:])
+        ]
+        assert all(abs(g - gaps[0]) < 1e-9 for g in gaps)
+
+    def test_materialize_is_reproducible(self):
+        entry = TraceEntry(
+            index=0, tenant="t", shape=(4, 5, 6), mode=1, j=3,
+            layout="row", dtype="float32", issue_s=0.0, seed=42,
+        )
+        x1, u1 = materialize(entry)
+        x2, u2 = materialize(entry)
+        np.testing.assert_array_equal(x1.data, x2.data)
+        np.testing.assert_array_equal(u1, u2)
+
+    def test_trace_rejects_bad_inputs(self):
+        with pytest.raises(ShapeError):
+            generate_trace(default_tenants(2), 0)
+        with pytest.raises(ShapeError):
+            generate_trace(default_tenants(2), 4, pattern="bursty")
+        with pytest.raises(ShapeError):
+            default_tenants(0)
+
+    def test_report_invariants_at_nominal_load(self):
+        async def scenario():
+            server = await serving(max_batch=16)
+            trace = generate_trace(default_tenants(4), 96, seed=11)
+            try:
+                return await replay(server, trace, concurrency=32)
+            finally:
+                await server.stop()
+
+        report = run(scenario())
+        assert report.requests == 96
+        assert report.completed == 96
+        assert report.shed["total"] == 0
+        assert report.shed_rate == 0.0
+        assert report.sustained_gflops > 0
+        assert set(report.per_tenant) == {
+            f"tenant-{i}" for i in range(4)
+        }
+        assert report.latencies_ms["p50"] <= report.latencies_ms["p99"]
+        payload = report.to_dict()
+        assert payload["batching"]["batches"] > 0
+        assert 0.0 <= payload["cache"]["hit_rate"] <= 1.0
