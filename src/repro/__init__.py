@@ -25,10 +25,22 @@ from repro.tensor import (
     fold,
     low_rank_tensor,
     md_trajectory_tensor,
+    open_memmap_tensor,
     random_tensor,
     unfold,
 )
-from repro.core import ChainPlan, InTensLi, TtmPlan, ttm_chain, ttm_inplace
+from repro.core import (
+    ChainPlan,
+    InTensLi,
+    TilingPlan,
+    TilingPlanner,
+    TtmPlan,
+    ttm_chain,
+    ttm_inplace,
+    ttm_stream,
+    ttm_stream_collect,
+    ttm_tiled,
+)
 from repro.core.intensli import ttm
 from repro.baselines import ttm_copy, ttm_ctf_like
 from repro.autotune import AutotuneSession, PlanCache
@@ -44,15 +56,21 @@ __all__ = [
     "fold",
     "low_rank_tensor",
     "md_trajectory_tensor",
+    "open_memmap_tensor",
     "random_tensor",
     "unfold",
     "AutotuneSession",
     "ChainPlan",
     "InTensLi",
     "PlanCache",
+    "TilingPlan",
+    "TilingPlanner",
     "TtmPlan",
     "ttm_chain",
     "ttm_inplace",
+    "ttm_stream",
+    "ttm_stream_collect",
+    "ttm_tiled",
     "ttm",
     "ttm_copy",
     "ttm_ctf_like",

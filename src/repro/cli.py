@@ -68,6 +68,7 @@ _BENCHES = {
     "ablation-threads": "bench_ablation_threads",
     "dtype": "bench_dtype",
     "serving": "bench_serving",
+    "ooc": "bench_ooc_ttm",
 }
 
 
@@ -262,6 +263,67 @@ def cmd_explain(args) -> int:
         shape, steps, args.layout, dtype=args.dtype, order=args.order
     )
     print(explain_chain(plan, flops_per_byte=lib.machine_balance))
+    return 0
+
+
+_BYTE_SUFFIXES = {
+    "k": 1 << 10, "kib": 1 << 10, "kb": 1000,
+    "m": 1 << 20, "mib": 1 << 20, "mb": 1000**2,
+    "g": 1 << 30, "gib": 1 << 30, "gb": 1000**3,
+}
+
+
+def _parse_bytes(text: str) -> int:
+    """Parse a byte budget like ``8MiB``, ``64k``, or ``1048576``."""
+    t = text.strip().lower()
+    for suffix in sorted(_BYTE_SUFFIXES, key=len, reverse=True):
+        if t.endswith(suffix):
+            return int(float(t[: -len(suffix)]) * _BYTE_SUFFIXES[suffix])
+    return int(t)
+
+
+def cmd_tile_explain(args) -> int:
+    from repro.core import InTensLi
+    from repro.core.tiling import explain_tiling
+    from repro.resilience.memory import available_bytes
+    from repro.util.errors import ResourceError
+
+    shape = _parse_shape(args.shape)
+    budget = _parse_bytes(args.budget) if args.budget else available_bytes()
+    lib = InTensLi(max_threads=args.threads)
+
+    def planner(s, mode, j, layout, dtype=None):
+        return lib.plan(s, mode, j, layout, dtype=dtype)
+
+    try:
+        info = explain_tiling(
+            shape, args.mode, args.j, args.layout, dtype=args.dtype,
+            budget=budget, planner=planner,
+        )
+    except ResourceError as exc:
+        print(f"untileable: {exc}")
+        return 1
+    print(f"input       {args.shape} mode={args.mode} J={args.j} "
+          f"{info['layout']}/{info['dtype']}")
+    print(f"budget      {info['budget']} bytes"
+          + ("" if args.budget else " (probed)"))
+    print(f"untiled     {info['base_footprint_bytes']} bytes "
+          "(output + kernel working sets)")
+    print(f"decision    {info['reason']}")
+    print(f"parts       {'x'.join(str(p) for p in info['parts'])} "
+          f"-> {info['n_tiles']} tile(s)")
+    print(f"tile shape  {'x'.join(str(s) for s in info['max_tile_shape'])} "
+          f"(~{info['tile_footprint_bytes']} bytes each, "
+          f"{'packed' if info['packed'] else 'pure views'})")
+    print(f"base plan   {info['base_plan']}")
+    if info["n_tiles"] > 1:
+        # The tile-level plan shows what the estimator chose for the tile
+        # geometry — often a different degree/batching than the full tensor.
+        tile_plan = planner(
+            tuple(info["max_tile_shape"]), args.mode, args.j, args.layout,
+            dtype=args.dtype,
+        )
+        print(f"tile plan   {tile_plan.describe()}")
     return 0
 
 
@@ -551,6 +613,27 @@ def build_parser() -> argparse.ArgumentParser:
         "exchange rule), optimal (flop DP), given (as written)",
     )
     chain.set_defaults(fn=cmd_explain)
+
+    tile = sub.add_parser(
+        "tile", help="out-of-core tiling planner tools"
+    )
+    tile_sub = tile.add_subparsers(dest="what", required=True)
+    tile_explain = tile_sub.add_parser(
+        "explain",
+        help="show how a TTM would be tiled under a memory budget",
+    )
+    tile_explain.add_argument("shape", help="tensor shape, e.g. 512x512x512")
+    tile_explain.add_argument("mode", type=int, help="0-based product mode")
+    tile_explain.add_argument("j", type=int, help="output rank J")
+    tile_explain.add_argument("--layout", default="C", choices=["C", "F"])
+    tile_explain.add_argument("--dtype", default="float64")
+    tile_explain.add_argument("--threads", type=int, default=1)
+    tile_explain.add_argument(
+        "--budget", default=None, metavar="BYTES",
+        help="memory budget (accepts suffixes: 64k, 8MiB, 2g); "
+        "defaults to the live probe / $REPRO_MEM_LIMIT",
+    )
+    tile_explain.set_defaults(fn=cmd_tile_explain)
 
     serve = sub.add_parser(
         "serve", help="replay a request trace through the serving engine"

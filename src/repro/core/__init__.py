@@ -51,6 +51,17 @@ from repro.core.chain import (
     plan_chain,
     ttm_chain,
 )
+from repro.core.tiling import (
+    StreamChunk,
+    TileSpec,
+    TilingPlan,
+    TilingPlanner,
+    execute_tiled,
+    explain_tiling,
+    ttm_stream,
+    ttm_stream_collect,
+    ttm_tiled,
+)
 from repro.core.intensli import InTensLi
 
 __all__ = [
@@ -95,5 +106,14 @@ __all__ = [
     "SCHEMA_VERSION",
     "cache_header",
     "check_cache_header",
+    "StreamChunk",
+    "TileSpec",
+    "TilingPlan",
+    "TilingPlanner",
+    "execute_tiled",
+    "explain_tiling",
+    "ttm_stream",
+    "ttm_stream_collect",
+    "ttm_tiled",
     "InTensLi",
 ]

@@ -33,6 +33,12 @@ from repro.core.estimator import ParameterEstimator
 from repro.core.inttm import ttm_inplace
 from repro.core.plan import TtmPlan
 from repro.core.threads import DEFAULT_PTH_BYTES
+from repro.core.tiling import (
+    TilingPlanner,
+    execute_tiled,
+    tiling_opportunity,
+    ttm_stream as _ttm_stream,
+)
 from repro.gemm.bench import (
     GemmProfile,
     default_shape_grid,
@@ -46,7 +52,7 @@ from repro.resilience.memory import guard_memory
 from repro.tensor.dense import DenseTensor
 from repro.tensor.layout import Layout
 from repro.util.dtypes import DEFAULT_DTYPE, canonical_dtype
-from repro.util.errors import DtypeError, ShapeError
+from repro.util.errors import DtypeError, ResourceError, ShapeError
 from repro.util.validation import check_finite_result, check_positive_int
 
 log = logging.getLogger("repro.core")
@@ -511,7 +517,17 @@ class InTensLi:
         check_finite: bool = False,
         allow_replan: bool = False,
     ) -> DenseTensor:
-        """Run a specific plan (bypassing estimation) on real data."""
+        """Run a specific plan (bypassing estimation) on real data.
+
+        When the plan's footprint exceeds the memory budget — the normal
+        case for memmap-backed tensors under ``$REPRO_MEM_LIMIT`` — the
+        call transparently reroutes through the tiling planner
+        (:mod:`repro.core.tiling`) and executes tile by tile; callers
+        see the same output tensor either way.
+        """
+        tiled = self._maybe_execute_tiled(plan, x, u, out, check_finite)
+        if tiled is not None:
+            return tiled
         if self.executor == "interpreted":
             return ttm_inplace(
                 x, u, plan=plan, out=out,
@@ -601,6 +617,74 @@ class InTensLi:
         if check_finite:
             check_finite_result(out.data, kernel=plan.kernel, context="ttm")
         return out
+
+    def _maybe_execute_tiled(
+        self,
+        plan: TtmPlan,
+        x: DenseTensor,
+        u,
+        out: DenseTensor | None,
+        check_finite: bool,
+    ) -> DenseTensor | None:
+        """Reroute through tiling when the plan exceeds the budget.
+
+        Returns None on the fast path (small in-memory call, budget
+        unknowable, or the footprint fits) and when tiling cannot help
+        (no splittable mode, budget below any kernel working set) — in
+        the latter case the classic guard downstream still gets to
+        replan or refuse, preserving the pre-tiling contract.
+        """
+        if not isinstance(x, DenseTensor) or x.shape != plan.shape:
+            return None
+        budget = tiling_opportunity(
+            plan, x_inmem=x.is_inmem, out_given=out is not None
+        )
+        if budget is None:
+            return None
+
+        def planner(shape, mode, j, layout, dtype=None):
+            return self.plan(shape, mode, j, layout, dtype=dtype)
+
+        try:
+            tiling = TilingPlanner(planner).plan(
+                plan, budget=budget, out_preallocated=out is not None
+            )
+        except ResourceError:
+            return None
+        if not tiling.tiled:
+            return None
+        u = _match_u_dtype(u, plan.np_dtype)
+
+        def run_tile(tile_plan, x_tile, u_arr, y_tile):
+            return self.execute(tile_plan, x_tile, u_arr, out=y_tile)
+
+        return execute_tiled(
+            x, u, tiling, out=out, planner=planner, executor=run_tile,
+            check_finite=check_finite,
+        )
+
+    def ttm_stream(
+        self,
+        slices,
+        u,
+        mode: int,
+        axis: int = 0,
+        layout: Layout | str = Layout.ROW_MAJOR,
+    ):
+        """TTM over incrementally produced slices (see
+        :func:`repro.core.tiling.ttm_stream`), planned by this facade.
+
+        Chunk plans flow through :meth:`plan` and therefore through the
+        estimator and any attached persistent cache — a stream of
+        equal-shaped chunks plans exactly once.
+        """
+
+        def planner(shape, mode_, j, lay, dtype=None):
+            return self.plan(shape, mode_, j, lay, dtype=dtype)
+
+        return _ttm_stream(
+            slices, u, mode, axis=axis, layout=layout, planner=planner
+        )
 
 
 _DEFAULT: InTensLi | None = None

@@ -10,7 +10,13 @@ all-reduce) is carried out by explicit buffer movement and *accounted*
 in words, so distribution strategies can be compared quantitatively.
 """
 
-from repro.distributed.grid import ProcessGrid, block_ranges, enumerate_grids
+from repro.distributed.grid import (
+    ProcessGrid,
+    block_ranges,
+    enumerate_grids,
+    tile_grid,
+    tile_ranges,
+)
 from repro.distributed.ttm import (
     CommReport,
     best_grid,
@@ -22,6 +28,8 @@ __all__ = [
     "ProcessGrid",
     "block_ranges",
     "enumerate_grids",
+    "tile_grid",
+    "tile_ranges",
     "CommReport",
     "best_grid",
     "communication_words",

@@ -34,6 +34,42 @@ def block_ranges(extent: int, parts: int) -> list[tuple[int, int]]:
     return ranges
 
 
+def tile_ranges(extent: int, parts: int) -> list[tuple[int, int]]:
+    """Block ranges for tiling: tolerant variant of :func:`block_ranges`.
+
+    Single-node tiling reuses the distributed block distribution but has
+    different edge semantics: a request for more tiles than elements
+    just caps at one element per tile (the planner over-asks when it
+    shrinks tiles to fit a budget), and a zero extent yields the single
+    empty range ``[(0, 0)]`` so degenerate tensors tile into one empty
+    tile instead of erroring.
+    """
+    check_positive_int(parts, "parts")
+    if extent < 0:
+        raise ShapeError(f"negative extent {extent}")
+    if extent == 0:
+        return [(0, 0)]
+    return block_ranges(extent, min(parts, extent))
+
+
+def tile_grid(
+    shape: Sequence[int], parts: Sequence[int]
+) -> Iterator[tuple[tuple[int, int], ...]]:
+    """All tiles of *shape* cut into ``parts[i]`` blocks per mode.
+
+    Yields, in odometer order (last mode fastest), one tuple of per-mode
+    ``(lo, hi)`` ranges per tile — the single-node analogue of
+    :meth:`ProcessGrid.local_slices` enumerated over every coordinate.
+    The union of the yielded tiles partitions the index space exactly.
+    """
+    if len(parts) != len(shape):
+        raise ShapeError(
+            f"parts {tuple(parts)} does not match order-{len(shape)} shape"
+        )
+    per_mode = [tile_ranges(int(e), int(p)) for e, p in zip(shape, parts)]
+    return itertools.product(*per_mode)
+
+
 @dataclass(frozen=True)
 class ProcessGrid:
     """A cartesian process grid aligned with tensor modes."""

@@ -147,6 +147,10 @@ class HotCounters:
     watchdog_timeouts: int = 0
     store_retries: int = 0
     memory_replans: int = 0
+    tiled_ttms: int = 0
+    tiles_executed: int = 0
+    tile_pack_bytes: int = 0
+    stream_chunks: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -221,6 +225,22 @@ class HotCounters:
         with self._lock:
             setattr(self, event, getattr(self, event) + n)
 
+    def count_tiled(self, tiles: int, pack_bytes: int = 0) -> None:
+        """Report one tiled TTM execution: tile count and bytes packed.
+
+        ``tile_pack_bytes`` measures the staging traffic tiling paid for
+        non-contiguous tiles — zero when every tile ran as a pure view,
+        which is the geometry the planner prefers.
+        """
+        with self._lock:
+            self.tiled_ttms += 1
+            self.tiles_executed += tiles
+            self.tile_pack_bytes += pack_bytes
+
+    def count_stream_chunk(self, n: int = 1) -> None:
+        with self._lock:
+            self.stream_chunks += n
+
     def as_dict(self) -> dict:
         """A JSON-safe snapshot of every tally (plus the derived sums).
 
@@ -247,6 +267,10 @@ class HotCounters:
                 "watchdog_timeouts": self.watchdog_timeouts,
                 "store_retries": self.store_retries,
                 "memory_replans": self.memory_replans,
+                "tiled_ttms": self.tiled_ttms,
+                "tiles_executed": self.tiles_executed,
+                "tile_pack_bytes": self.tile_pack_bytes,
+                "stream_chunks": self.stream_chunks,
                 "dispatches": self.gemm_calls + self.batched_calls,
                 "total_slices": self.gemm_calls + self.batched_slices,
             }

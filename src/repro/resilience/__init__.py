@@ -44,6 +44,7 @@ from repro.resilience.memory import (
     MEM_LIMIT_ENV,
     available_bytes,
     guard_memory,
+    pinned_budget,
     plan_footprint_bytes,
 )
 
@@ -62,6 +63,7 @@ __all__ = [
     "fallback_tiers",
     "fault_injection",
     "guard_memory",
+    "pinned_budget",
     "plan_footprint_bytes",
     "recoverable",
     "record_degradation",

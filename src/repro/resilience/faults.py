@@ -21,10 +21,21 @@ Named injection points (the wiring sites ship with the library):
     Inside a ``parfor`` worker, once per pulled block — arm with a
     ``delay`` to simulate a stuck body and trip the watchdog.
 ``store-read-error``
-    :meth:`repro.autotune.store.PlanStore.load`'s file read.
+    :meth:`repro.autotune.store.PlanStore.load`'s file read, and
+    :func:`repro.tensor.dense.open_memmap_tensor`'s file open (context:
+    ``site="memmap-open", path=<str>``).
 ``alloc-fail``
-    The memory pre-flight guard — arming it (no exception needed) makes
-    the guard see zero available bytes.
+    The memory pre-flight guard — arming it with no ``match`` (no
+    exception needed) makes the guard see zero available bytes.  The
+    tiled executor additionally checks in before each scratch
+    allocation with ``site="tile-scratch", tile=<i>, bytes=<n>`` so a
+    matched rule can kill allocation *k* mid-run without zeroing the
+    global budget probe (which passes no context).
+
+Besides firing armed rules, instrumented allocation sites report what
+they allocate through :meth:`FaultInjector.observe`; the ``observed``
+log is how the out-of-core tests measure peak scratch against the
+budget without monkeypatching NumPy.
 
 The disabled path is the same shape as the tracer's and the hot-path
 counters': instrumented code reads one module global
@@ -101,6 +112,7 @@ class FaultInjector:
         self._rules: list[FaultRule] = []
         self._lock = threading.Lock()
         self.fired: list[tuple[str, dict]] = []
+        self.observed: list[tuple[str, dict]] = []
 
     def arm(
         self,
@@ -179,6 +191,22 @@ class FaultInjector:
         """How many times *point* has fired so far."""
         with self._lock:
             return sum(1 for p, _ in self.fired if p == point)
+
+    def observe(self, event: str, **ctx) -> None:
+        """Record a passive observation (no rule matching, never raises).
+
+        Instrumented allocation sites call this with what they are about
+        to allocate (``observe("alloc", site=..., bytes=...)``) so tests
+        can reconstruct peak transient memory from the log.  Free-form:
+        *event* is not restricted to :data:`INJECTION_POINTS`.
+        """
+        with self._lock:
+            self.observed.append((event, dict(ctx)))
+
+    def observations(self, event: str) -> list[dict]:
+        """All recorded contexts for *event*, in order."""
+        with self._lock:
+            return [dict(ctx) for e, ctx in self.observed if e == event]
 
 
 _ACTIVE: FaultInjector | None = None

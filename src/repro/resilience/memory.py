@@ -22,18 +22,38 @@ containers, tests), else ``MemAvailable`` in ``/proc/meminfo``, else the
 guard stands down (None).  Small calls skip the probe entirely: below
 :data:`PREFLIGHT_MIN_BYTES` a failure is implausible and the hot path
 should not pay a file read per TTM.
+
+Budget read policy
+------------------
+
+The budget is **re-read at every call** by default: flipping
+``$REPRO_MEM_LIMIT`` (or memory freeing up in ``/proc/meminfo``) takes
+effect on the very next guard probe, tiling decision, or materialization
+check.  Code that must make *several* related decisions against one
+coherent number — the serving engine admitting then executing a
+coalesced batch, or the tiling executor pre-flighting every tile before
+writing the first byte of output — wraps the region in
+:func:`pinned_budget`, which snapshots the budget once (thread-locally,
+so concurrent serving workers don't see each other's pins) and serves
+that snapshot to every ``available_bytes()`` call inside the region.
+Armed ``alloc-fail`` faults still override a pin: determinism of the
+fault harness beats snapshot coherence.
 """
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import math
 import os
+import threading
 
 from repro.resilience.faults import active_faults, record_degradation
 from repro.util.errors import ResourceError
 
 log = logging.getLogger("repro.resilience")
+
+_pin_state = threading.local()
 
 #: Environment variable capping the bytes the guard believes available.
 MEM_LIMIT_ENV = "REPRO_MEM_LIMIT"
@@ -42,6 +62,39 @@ MEM_LIMIT_ENV = "REPRO_MEM_LIMIT"
 #: faults armed): probing /proc per tiny TTM would cost more than the
 #: allocation it guards.
 PREFLIGHT_MIN_BYTES = 64 << 20
+
+#: Sentinel distinguishing "no pin installed" from a pinned None
+#: (budget explicitly snapshotted as unknowable).
+_UNPINNED = object()
+
+
+@contextlib.contextmanager
+def pinned_budget(budget: int | None = None):
+    """Snapshot the memory budget for the duration of a region.
+
+    Inside the ``with`` block every :func:`available_bytes` call on
+    *this thread* returns the same number: the value probed on entry, or
+    an explicit *budget* when given.  This is the documented escape from
+    the default re-read-per-call policy for multi-step decisions that
+    must agree with each other (serving batch admission + execution,
+    tile pre-flight + execution).  Pins are thread-local and re-entrant
+    (the innermost pin wins); armed ``alloc-fail`` faults still override.
+
+    Yields the pinned value so callers can log or assert against it.
+    """
+    previous = getattr(_pin_state, "budget", _UNPINNED)
+    if budget is None:
+        # Probe once *before* installing the pin so nesting without an
+        # explicit budget re-probes the outer pin, not the environment.
+        budget = available_bytes()
+    _pin_state.budget = budget
+    try:
+        yield budget
+    finally:
+        if previous is _UNPINNED:
+            del _pin_state.budget
+        else:
+            _pin_state.budget = previous
 
 
 def available_bytes() -> int | None:
@@ -54,6 +107,9 @@ def available_bytes() -> int | None:
     faults = active_faults()
     if faults is not None and faults.check("alloc-fail"):
         return 0
+    pinned = getattr(_pin_state, "budget", _UNPINNED)
+    if pinned is not _UNPINNED:
+        return pinned
     override = os.environ.get(MEM_LIMIT_ENV)
     if override:
         try:

@@ -24,6 +24,13 @@ Planning is shared: one :class:`repro.autotune.PlanCache` serves every
 tenant, with per-tenant hit/miss accounting and entry quotas, so one
 tenant's warm signatures speed up every other tenant that sends the
 same shapes while no tenant can monopolize the cache.
+
+Memory-budget policy: plans are cached per signature but memory
+*verdicts* are not — each group execution snapshots the budget once via
+:func:`repro.resilience.memory.pinned_budget` and makes every decision
+for that group (staging admission, per-request guard probes) against
+that one number.  Flipping ``$REPRO_MEM_LIMIT`` therefore takes effect
+at the next group boundary, never mid-group.
 """
 
 from __future__ import annotations
@@ -44,7 +51,7 @@ from repro.autotune.cache import PlanCache, PlanKey
 from repro.autotune.store import PlanStore
 from repro.core.intensli import InTensLi, _match_u_dtype
 from repro.obs.tracer import ROOT, active_tracer
-from repro.resilience.memory import available_bytes
+from repro.resilience.memory import pinned_budget
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import (
     FleetSignature,
@@ -548,53 +555,61 @@ class TtmServer:
                 for r, out in zip(live, self._execute_group_impl(sig, live, plan)):
                     outcomes[id(r)] = out
             return [outcomes[id(r)] for r in requests]
-        batched = len(requests) > 1 and self.config.coalesce
-        if batched:
-            staging = fleet_staging_bytes(sig, len(requests))
-            avail = available_bytes()
-            if avail is not None and staging > avail:
-                log.warning(
-                    "fleet staging for %s x%d needs %d bytes, %d available; "
-                    "degrading to guarded per-request execution",
-                    sig.describe(),
-                    len(requests),
-                    staging,
-                    avail,
-                )
-                with self.stats._lock:
-                    self.stats.batch_fallbacks += 1
-                batched = False
-        if batched:
-            try:
-                results = execute_fleet(sig, requests)
-                self.stats.count_group(len(requests), batched=True)
-                return results
-            except ReproError as exc:
-                # Any typed fleet failure degrades the whole group to the
-                # per-request path, which has its own fallback chains.
-                log.warning(
-                    "fleet dispatch failed (%s: %s); degrading to "
-                    "per-request execution",
-                    type(exc).__name__,
-                    exc,
-                )
-                with self.stats._lock:
-                    self.stats.batch_fallbacks += 1
-        self.stats.count_group(len(requests), batched=False)
-        outcomes = []
-        for request in requests:
-            try:
-                outcomes.append(
-                    self._lib.execute(
-                        plan,
-                        request.x,
-                        request.u,
-                        allow_replan=self.config.allow_replan,
+        # One budget snapshot per group: the staging-admission verdict
+        # and every guard probe inside the per-request fallbacks read the
+        # same number (thread-local, so concurrent workers don't share
+        # pins).  The default call-time re-read policy resumes when the
+        # group finishes — see the policy note in
+        # ``repro.resilience.memory``.
+        with pinned_budget() as budget:
+            batched = len(requests) > 1 and self.config.coalesce
+            if batched:
+                staging = fleet_staging_bytes(sig, len(requests))
+                if budget is not None and staging > budget:
+                    log.warning(
+                        "fleet staging for %s x%d needs %d bytes, %d "
+                        "available; degrading to guarded per-request "
+                        "execution",
+                        sig.describe(),
+                        len(requests),
+                        staging,
+                        budget,
                     )
-                )
-            except ReproError as exc:
-                outcomes.append(exc)
-        return outcomes
+                    with self.stats._lock:
+                        self.stats.batch_fallbacks += 1
+                    batched = False
+            if batched:
+                try:
+                    results = execute_fleet(sig, requests)
+                    self.stats.count_group(len(requests), batched=True)
+                    return results
+                except ReproError as exc:
+                    # Any typed fleet failure degrades the whole group to
+                    # the per-request path, which has its own fallback
+                    # chains.
+                    log.warning(
+                        "fleet dispatch failed (%s: %s); degrading to "
+                        "per-request execution",
+                        type(exc).__name__,
+                        exc,
+                    )
+                    with self.stats._lock:
+                        self.stats.batch_fallbacks += 1
+            self.stats.count_group(len(requests), batched=False)
+            outcomes = []
+            for request in requests:
+                try:
+                    outcomes.append(
+                        self._lib.execute(
+                            plan,
+                            request.x,
+                            request.u,
+                            allow_replan=self.config.allow_replan,
+                        )
+                    )
+                except ReproError as exc:
+                    outcomes.append(exc)
+            return outcomes
 
     # -- reporting ------------------------------------------------------------
 

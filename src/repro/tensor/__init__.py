@@ -15,7 +15,7 @@ from repro.tensor.layout import (
     linear_index,
     storage_order,
 )
-from repro.tensor.dense import DenseTensor
+from repro.tensor.dense import DenseTensor, open_memmap_tensor
 from repro.tensor.views import (
     fiber,
     merged_matrix_view,
@@ -45,6 +45,7 @@ __all__ = [
     "linear_index",
     "storage_order",
     "DenseTensor",
+    "open_memmap_tensor",
     "fiber",
     "merged_matrix_view",
     "mode_slice",

@@ -23,7 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.tensor.dense import DenseTensor
+from repro.tensor.dense import DenseTensor, _guard_materialize
 from repro.tensor.layout import Layout
 from repro.tensor.views import subtensor_matrix
 from repro.util.errors import LayoutError
@@ -53,6 +53,10 @@ def unfold(tensor: DenseTensor, mode: int) -> np.ndarray:
     paper profiles in figure 4.
     """
     mode = check_mode(mode, tensor.order)
+    if not tensor.is_inmem:
+        # Physical unfolding copies the whole tensor; for out-of-core
+        # backings that must clear the memory budget, never happen silently.
+        _guard_materialize(tensor.nbytes, f"unfold(mode={mode})")
     perm = unfold_permutation(tensor.order, mode)
     # The column count is the product of the *other* extents — computed
     # directly, not by division, so zero-extent modes keep the correct

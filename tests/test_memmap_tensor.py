@@ -1,0 +1,197 @@
+"""Out-of-core tensor backings: memmap round trips and budget guards.
+
+The contract under test (DESIGN.md §13): a :class:`DenseTensor` may wrap
+disk-backed storage without ever pulling the whole array into RAM.
+``is_inmem`` records the backing kind and survives wrapping/reopening;
+every whole-array materialization (``copy``, ``permute``,
+``with_layout``, ``materialize``, the physical ``unfold``) clears the
+memory budget first or raises a typed
+:class:`~repro.util.errors.ResourceError` with the source untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience.memory import MEM_LIMIT_ENV
+from repro.tensor.dense import DenseTensor, open_memmap_tensor
+from repro.tensor.layout import COL_MAJOR, ROW_MAJOR
+from repro.tensor.unfold import unfold
+from repro.util.errors import LayoutError, ResourceError, ShapeError
+from tests.helpers import ttm_oracle
+
+SHAPE = (6, 7, 8)
+
+
+def _filled_memmap(tmp_path, layout=ROW_MAJOR, shape=SHAPE, dtype="float64",
+                   seed=0):
+    t = open_memmap_tensor(
+        tmp_path / "x.npy", "w+", shape=shape, dtype=dtype, layout=layout
+    )
+    rng = np.random.default_rng(seed)
+    t.data[...] = rng.standard_normal(shape)
+    t.flush()
+    return t
+
+
+# -- round trips ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("layout", [ROW_MAJOR, COL_MAJOR])
+def test_memmap_round_trip_preserves_data_layout_dtype(tmp_path, layout):
+    t = _filled_memmap(tmp_path, layout)
+    assert not t.is_inmem
+    assert t.layout is layout
+    reopened = open_memmap_tensor(tmp_path / "x.npy", "r")
+    assert not reopened.is_inmem
+    assert reopened.shape == SHAPE
+    assert reopened.layout is layout  # inferred from the .npy header
+    assert reopened.dtype == np.float64
+    np.testing.assert_array_equal(reopened.data, t.data)
+
+
+def test_memmap_readwrite_flush_persists(tmp_path):
+    t = _filled_memmap(tmp_path)
+    rw = open_memmap_tensor(tmp_path / "x.npy", "r+")
+    rw.data[2, 3, 4] = 42.0
+    rw.flush()
+    again = open_memmap_tensor(tmp_path / "x.npy", "r")
+    assert again.data[2, 3, 4] == 42.0
+
+
+def test_memmap_readonly_rejects_writes(tmp_path):
+    _filled_memmap(tmp_path)
+    ro = open_memmap_tensor(tmp_path / "x.npy", "r")
+    with pytest.raises((ValueError, OSError)):
+        ro.data[0, 0, 0] = 1.0
+
+
+def test_explicit_layout_request_must_match_stored_order(tmp_path):
+    _filled_memmap(tmp_path, ROW_MAJOR)
+    # Matching request: fine.  Mismatched request: typed refusal, not a
+    # silent out-of-core transpose.
+    assert open_memmap_tensor(tmp_path / "x.npy", "r", layout="C").layout \
+        is ROW_MAJOR
+    with pytest.raises(LayoutError, match="stored ROW_MAJOR"):
+        open_memmap_tensor(tmp_path / "x.npy", "r", layout="F")
+
+
+def test_order1_memmap_satisfies_either_layout_request(tmp_path):
+    t = open_memmap_tensor(tmp_path / "v.npy", "w+", shape=(9,))
+    t.data[:] = np.arange(9.0)
+    t.flush()
+    # A vector is contiguous both ways; neither request is a mismatch.
+    assert open_memmap_tensor(tmp_path / "v.npy", "r", layout="C").shape == (9,)
+    assert open_memmap_tensor(tmp_path / "v.npy", "r", layout="F").shape == (9,)
+
+
+def test_open_errors_are_typed(tmp_path):
+    with pytest.raises(ResourceError):
+        open_memmap_tensor(tmp_path / "absent.npy", "r")
+    with pytest.raises(ShapeError, match="needs a shape"):
+        open_memmap_tensor(tmp_path / "new.npy", "w+")
+    (tmp_path / "junk.npy").write_bytes(b"not an npy header")
+    with pytest.raises(ResourceError):
+        open_memmap_tensor(tmp_path / "junk.npy", "r")
+
+
+# -- from_memmap / from_buffer -------------------------------------------------
+
+
+def test_from_memmap_rejects_plain_arrays_and_bad_dtypes(tmp_path):
+    with pytest.raises(TypeError, match="from_memmap expects"):
+        DenseTensor.from_memmap(np.zeros((3, 3)))
+    bad = np.lib.format.open_memmap(
+        tmp_path / "ints.npy", mode="w+", dtype=np.int64, shape=(4,)
+    )
+    with pytest.raises(LayoutError, match="not a supported float dtype"):
+        DenseTensor.from_memmap(bad)
+
+
+def test_from_memmap_infers_and_validates_layout(tmp_path):
+    arr = np.lib.format.open_memmap(
+        tmp_path / "f.npy", mode="w+", dtype=np.float64, shape=(3, 4),
+        fortran_order=True,
+    )
+    t = DenseTensor.from_memmap(arr)
+    assert t.layout is COL_MAJOR and not t.is_inmem
+    with pytest.raises(LayoutError, match="not ROW_MAJOR contiguous"):
+        DenseTensor.from_memmap(arr, ROW_MAJOR)
+
+
+def test_from_buffer_round_trip_and_validation():
+    values = np.arange(12.0).reshape(3, 4)
+    t = DenseTensor.from_buffer(values.tobytes(), (3, 4), ROW_MAJOR)
+    np.testing.assert_array_equal(t.data, values)
+    # bytes buffers are read-only; writes must fail loudly, not corrupt.
+    with pytest.raises(ValueError):
+        t.data[0, 0] = 1.0
+    with pytest.raises(ShapeError, match="buffer holds"):
+        DenseTensor.from_buffer(values.tobytes(), (5, 4), ROW_MAJOR)
+
+
+# -- is_inmem threading --------------------------------------------------------
+
+
+def test_is_inmem_flag_true_for_ram_tensors():
+    assert DenseTensor(np.zeros((2, 3))).is_inmem
+    assert DenseTensor.zeros((2, 3)).is_inmem
+
+
+def test_views_of_memmap_tensors_stay_out_of_core(tmp_path):
+    t = _filled_memmap(tmp_path)
+    sub = DenseTensor._wrap(t.data[2:4], t.layout)
+    assert not sub.is_inmem
+    # A guarded materialization under an ample budget flips the flag.
+    assert t.materialize().is_inmem
+
+
+def test_materialize_is_identity_for_ram_tensors():
+    t = DenseTensor(np.ones((2, 2)))
+    assert t.materialize() is t
+
+
+# -- budget guards -------------------------------------------------------------
+
+
+def test_materializing_ops_refuse_over_budget(tmp_path, monkeypatch):
+    t = _filled_memmap(tmp_path)
+    monkeypatch.setenv(MEM_LIMIT_ENV, "64")
+    for op in (t.copy, t.materialize, lambda: t.with_layout(COL_MAJOR),
+               lambda: t.permute((2, 0, 1)), lambda: unfold(t, 1)):
+        with pytest.raises(ResourceError, match="materialize"):
+            op()
+    # The source is untouched and still readable after every refusal.
+    assert float(t.data[0, 0, 0]) == float(t.data[0, 0, 0])
+
+
+def test_materializing_ops_work_under_ample_budget(tmp_path, monkeypatch):
+    t = _filled_memmap(tmp_path)
+    monkeypatch.setenv(MEM_LIMIT_ENV, str(1 << 30))
+    assert t.copy().is_inmem
+    assert t.permute((2, 0, 1)).shape == (8, 6, 7)
+    assert unfold(t, 1).shape == (7, 6 * 8)
+
+
+def test_wrapping_memmap_with_copy_is_guarded(tmp_path, monkeypatch):
+    t = _filled_memmap(tmp_path, ROW_MAJOR)
+    monkeypatch.setenv(MEM_LIMIT_ENV, "64")
+    # __init__ would have to copy the mapped array to honor COL_MAJOR;
+    # over budget that must refuse, not thrash.
+    with pytest.raises(ResourceError):
+        DenseTensor(t.data, COL_MAJOR)
+
+
+def test_ttm_reads_memmap_without_materializing(tmp_path, monkeypatch):
+    # Kernels work on views of the mapped storage; only the (small)
+    # output is allocated, so a budget far below the tensor size is fine.
+    import repro
+
+    t = _filled_memmap(tmp_path, shape=(6, 7, 8))
+    u = np.random.default_rng(1).standard_normal((3, 7))
+    y = repro.ttm(t, u, 1)
+    np.testing.assert_allclose(
+        np.asarray(y.data if isinstance(y, DenseTensor) else y),
+        ttm_oracle(np.asarray(t.data), u, 1), rtol=1e-10, atol=1e-12,
+    )

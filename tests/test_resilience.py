@@ -39,14 +39,17 @@ from repro.resilience import (
     KernelChain,
     MEM_LIMIT_ENV,
     active_faults,
+    available_bytes,
     build_gemm_tiers,
     fallback_tiers,
     fault_injection,
     guard_memory,
+    pinned_budget,
     plan_footprint_bytes,
     recoverable,
 )
-from repro.tensor.dense import DenseTensor
+from repro.core.tiling import TilingPlanner, execute_tiled
+from repro.tensor.dense import DenseTensor, open_memmap_tensor
 from repro.util.errors import (
     DeadlineError,
     DtypeError,
@@ -586,6 +589,81 @@ def test_hot_counters_expose_resilience_events():
         assert counters.as_dict()[event] == 1
     with pytest.raises(ValueError):
         counters.count_resilience("not_a_counter")
+
+
+# -- out-of-core faults: tile scratch, memmap opens, pinned budgets ----------
+
+
+def test_tile_scratch_alloc_fail_leaves_output_untouched():
+    # execute_tiled pre-flights every tile (plans, scratch sizing, the
+    # alloc-fail checkpoint) before writing a byte: a failure at tile k
+    # must leave a preallocated output exactly as the caller filled it.
+    shape, j, mode = (32, 16, 20), 5, 2
+    rng = np.random.default_rng(11)
+    x = DenseTensor(rng.standard_normal(shape))
+    u = rng.standard_normal((j, shape[mode]))
+    base = default_plan(shape, mode, j, x.layout)
+    ws = plan_footprint_bytes(base, allocate_out=False)
+    tiling = TilingPlanner().plan(base, budget=ws // 2, out_preallocated=True)
+    assert tiling.tiled and tiling.n_tiles >= 2
+    sentinel = -7.25
+    out = DenseTensor(np.full((shape[0], shape[1], j), sentinel))
+    with fault_injection() as faults:
+        faults.arm(
+            "alloc-fail", exc=ResourceError("injected scratch failure"),
+            after=1, site="tile-scratch",
+        )
+        # The site filter keeps the rule away from the ctx-less budget
+        # probe: available_bytes() must not trip (or consume) it.
+        available_bytes()
+        assert faults.fired == []
+        with pytest.raises(ResourceError, match="injected scratch"):
+            execute_tiled(x, u, tiling, out=out)
+        assert faults.fired[0][1]["site"] == "tile-scratch"
+    assert np.all(out.data == sentinel)
+
+
+def test_memmap_open_fault_surfaces_as_resource_error(tmp_path):
+    t = open_memmap_tensor(tmp_path / "x.npy", "w+", shape=(4, 5))
+    t.data[...] = 1.0
+    t.flush()
+    with fault_injection() as faults:
+        faults.arm(
+            "store-read-error", exc=OSError("injected: disk gone"),
+            site="memmap-open",
+        )
+        with pytest.raises(ResourceError, match="injected"):
+            open_memmap_tensor(tmp_path / "x.npy", "r")
+    # The rule is scoped to the injection block; the same open succeeds
+    # afterwards and the stored bytes were never corrupted.
+    again = open_memmap_tensor(tmp_path / "x.npy", "r")
+    assert again.shape == (4, 5) and float(again.data[0, 0]) == 1.0
+
+
+def test_pinned_budget_snapshots_env_and_nests(monkeypatch):
+    monkeypatch.setenv(MEM_LIMIT_ENV, "1000")
+    with pinned_budget() as pinned:
+        assert pinned == 1000
+        # A mid-region env flip is invisible: the pin serves the
+        # snapshot so multi-step decisions agree with each other.
+        monkeypatch.setenv(MEM_LIMIT_ENV, "1")
+        assert available_bytes() == 1000
+        with pinned_budget(5000):
+            assert available_bytes() == 5000  # innermost pin wins
+        assert available_bytes() == 1000
+    # Outside the region the default re-read-per-call policy resumes.
+    assert available_bytes() == 1
+
+
+def test_alloc_fail_overrides_pinned_budget():
+    # Determinism of the fault harness beats snapshot coherence: an
+    # armed alloc-fail forces 0 even inside a generous pin.
+    with fault_injection() as faults:
+        faults.arm("alloc-fail", times=1000)
+        with pinned_budget(1 << 30):
+            assert available_bytes() == 0
+    with pinned_budget(1 << 30):
+        assert available_bytes() == 1 << 30
 
 
 # -- fuzz: faults never change answers, only speed ---------------------------
