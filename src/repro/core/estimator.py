@@ -58,6 +58,12 @@ class ParameterEstimator:
         The loop-vs-kernel allocation threshold (paper: 800 KB).
     kappa:
         Fraction of peak defining the threshold window (paper: 0.8).
+    calibration:
+        A live-machine fit (:class:`repro.perf.dse.CalibrationRecord`,
+        or anything exposing ``thresholds_for(j, max_threads)`` and
+        ``digest()``).  When set, its fitted MSTH/MLTH windows take
+        precedence over both the profile and the paper defaults; those
+        remain the fallback whenever the record has nothing for a query.
     """
 
     def __init__(
@@ -67,6 +73,7 @@ class ParameterEstimator:
         pth_bytes: int = DEFAULT_PTH_BYTES,
         kappa: float = 0.8,
         refine_with_model: bool = True,
+        calibration=None,
     ) -> None:
         check_positive_int(max_threads, "max_threads")
         check_positive_int(pth_bytes, "pth_bytes")
@@ -75,30 +82,77 @@ class ParameterEstimator:
         self.pth_bytes = pth_bytes
         self.kappa = kappa
         self.refine_with_model = refine_with_model
-        self._threshold_cache: dict[tuple[int, int], Thresholds] = {}
+        self._calibration = calibration
+        self._threshold_cache: dict[tuple, Thresholds] = {}
 
     # -- threshold derivation -------------------------------------------------
 
+    @property
+    def calibration(self):
+        """The attached live-machine fit (None = profile/paper only)."""
+        return self._calibration
+
+    @calibration.setter
+    def calibration(self, record) -> None:
+        # Swapping the fit invalidates every cached window: a key alone
+        # cannot distinguish "cached before the record changed in place".
+        self._calibration = record
+        self._threshold_cache.clear()
+
+    def invalidate_thresholds(self) -> None:
+        """Drop every cached window (call after mutating ``profile``)."""
+        self._threshold_cache.clear()
+
+    def _calibration_token(self) -> str | None:
+        """A value identifying the current calibration for cache keys.
+
+        Records are content-addressed via ``digest()`` so two different
+        fits never alias; an object without one falls back to ``id``
+        (still correct under the setter's cache clear).
+        """
+        if self._calibration is None:
+            return None
+        digest = getattr(self._calibration, "digest", None)
+        return digest() if callable(digest) else f"id:{id(self._calibration)}"
+
     def thresholds_for(self, j: int) -> Thresholds:
-        """MSTH/MLTH for output rank *j* (profile-derived or paper defaults)."""
-        if self.profile is None:
-            return PAPER_THRESHOLDS
-        key = (j, self.max_threads)
+        """MSTH/MLTH for output rank *j*.
+
+        Precedence: calibrated fit (when attached and it has a window
+        for this thread budget) > profile-derived > paper defaults.
+        """
+        check_positive_int(j, "j")
+        key = (j, self.max_threads, self._calibration_token())
         cached = self._threshold_cache.get(key)
         if cached is not None:
             return cached
-        threads = self._profile_threads()
-        m_values = sorted({p.m for p in self.profile.points})
-        # Use the profiled m closest to J (the benchmark fixes m to a
-        # typical low-rank J; exact match is the common case).
-        m_probe = min(m_values, key=lambda m: abs(m - j))
-        thresholds = derive_thresholds(
-            self.profile, m_probe, threads=threads, kappa=self.kappa
-        )
+        thresholds: Thresholds | None = None
+        if self._calibration is not None:
+            thresholds = self._calibration.thresholds_for(j, self.max_threads)
+        if thresholds is None:
+            if self.profile is None:
+                return PAPER_THRESHOLDS
+            threads = self._profile_threads()
+            m_values = sorted({p.m for p in self.profile.points})
+            # Use the profiled m closest to J (the benchmark fixes m to a
+            # typical low-rank J; exact match is the common case).
+            m_probe = min(m_values, key=lambda m: abs(m - j))
+            thresholds = derive_thresholds(
+                self.profile, m_probe, threads=threads, kappa=self.kappa
+            )
         self._threshold_cache[key] = thresholds
         return thresholds
 
     def _profile_threads(self) -> int:
+        """The profiled thread count to derive thresholds at.
+
+        The largest profiled count within ``max_threads`` — thresholds
+        measured at a concurrency we can actually run.  When *every*
+        profiled count exceeds the budget the smallest one is used
+        anyway (closest available evidence beats refusing to plan); the
+        resulting window is then an extrapolation, which is the
+        documented, asserted behavior rather than an accident.
+        """
         counts = self.profile.thread_counts()
         eligible = [t for t in counts if t <= self.max_threads]
         return max(eligible) if eligible else min(counts)

@@ -153,6 +153,45 @@ class InTensLi:
 
     # -- planning -------------------------------------------------------------
 
+    def attach_calibration(self, record, refresh_profile: bool = True) -> None:
+        """Adopt a live-machine calibration for all future planning.
+
+        *record* is duck-typed — anything with ``thresholds_for(j,
+        max_threads)`` and ``digest()``, in practice a
+        :class:`repro.perf.dse.CalibrationRecord` (this facade cannot
+        import it directly without inverting the layering); ``None``
+        detaches and returns to profile/paper thresholds.  The record's
+        fitted PTH replaces the estimator's when present, and with
+        *refresh_profile* a fitted roofline (peak + bandwidth) rebuilds
+        the synthetic profile so the model-refinement stage predicts
+        with calibrated rates too.  Per-process plan caches are cleared
+        — stale decisions made under the old thresholds must not
+        outlive them (the persistent cache keeps its entries: those are
+        *measured* promotions, which calibration refines toward, not
+        against).
+        """
+        self.estimator.calibration = record
+        if record is not None:
+            pth = getattr(record, "pth_bytes", None)
+            if pth:
+                self.estimator.pth_bytes = int(pth)
+            if refresh_profile:
+                platform = None
+                platform_of = getattr(record, "platform", None)
+                if callable(platform_of):
+                    platform = platform_of()
+                if platform is not None:
+                    grid = sorted({(p.m, p.k, p.n) for p in self.profile.points})
+                    threads = self.profile.thread_counts()
+                    self.platform = platform
+                    self.profile = synthetic_profile(
+                        grid, platform, threads=threads
+                    )
+                    self.estimator.profile = self.profile
+                    self.estimator.invalidate_thresholds()
+        self._plan_cache.clear()
+        self._chain_cache.clear()
+
     def attach_plan_cache(self, cache) -> None:
         """Route plan lookups through a persistent cache.
 

@@ -221,6 +221,23 @@ def kernel_working_set_bytes(
     return itemsize * (i_n * p + j * i_n + j * p)
 
 
+def describe_profile(profile: GemmProfile) -> str:
+    """A short human label for a profile, used in threshold errors.
+
+    Combines the provenance recorded in ``profile.meta`` (source and,
+    when synthetic, the platform preset) with the point count so error
+    messages name *which* benchmark artifact was unusable.
+    """
+    meta = getattr(profile, "meta", None) or {}
+    source = meta.get("source", "unknown-source")
+    parts = [str(source)]
+    for key in ("platform", "kernel"):
+        if meta.get(key):
+            parts.append(str(meta[key]))
+    label = ", ".join(parts)
+    return f"GemmProfile({label}; {len(profile)} points)"
+
+
 def derive_thresholds(
     profile: GemmProfile,
     m: int,
@@ -241,13 +258,16 @@ def derive_thresholds(
     k_values = sorted({p.k for p in profile.series(m=m, threads=threads)})
     if not k_values:
         raise BenchmarkError(
-            f"profile has no points with m={m}, threads={threads}"
+            f"cannot derive thresholds from {describe_profile(profile)}: "
+            f"no points with m={m}, threads={threads}"
         )
     small_sizes: list[int] = []
     large_sizes: list[int] = []
+    short_series = 0
     for k in k_values:
         series = profile.series(m=m, k=k, threads=threads)
         if len(series) < 3:
+            short_series += 1
             continue
         rates = [p.gflops for p in series]
         peak_idx = max(range(len(series)), key=rates.__getitem__)
@@ -265,8 +285,14 @@ def derive_thresholds(
         small_sizes.append(series[lo].working_set_bytes)
         large_sizes.append(series[hi].working_set_bytes)
     if not small_sizes:
+        # Every k landed in the ``continue`` above: without this guard
+        # the means below would crash on empty inputs.  Name the profile
+        # so the operator knows which benchmark artifact is too sparse.
         raise BenchmarkError(
-            f"no n-series with >= 3 points for m={m}, threads={threads}"
+            f"cannot derive thresholds from {describe_profile(profile)}: "
+            f"all {short_series} n-series for m={m}, threads={threads} "
+            "have fewer than 3 points (the figure-8 peak walk needs at "
+            "least 3); re-run the benchmark with a denser n grid"
         )
     msth = int(statistics.mean(small_sizes))
     mlth = int(statistics.mean(large_sizes))

@@ -14,16 +14,43 @@ from repro.perf.profiler import (
     track_hot_path,
 )
 from repro.perf.machine import MachineInfo, machine_fingerprint, machine_info
+from repro.perf.blasctl import blas_pinning_available, blas_threads
 from repro.perf.calibrate import (
+    PeakMeasurement,
     host_platform,
     measure_bandwidth,
+    measure_peak,
     measure_peak_gflops,
+)
+from repro.perf.dse import (
+    CalibrationAccumulator,
+    CalibrationRecord,
+    DseCase,
+    DseConfig,
+    DseObservation,
+    explore,
+    fit_calibration,
+    load_calibration_record,
+    run_calibration,
 )
 
 __all__ = [
     "host_platform",
     "measure_bandwidth",
+    "measure_peak",
     "measure_peak_gflops",
+    "PeakMeasurement",
+    "blas_pinning_available",
+    "blas_threads",
+    "CalibrationAccumulator",
+    "CalibrationRecord",
+    "DseCase",
+    "DseConfig",
+    "DseObservation",
+    "explore",
+    "fit_calibration",
+    "load_calibration_record",
+    "run_calibration",
     "Timer",
     "best_of",
     "time_callable",

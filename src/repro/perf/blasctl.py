@@ -1,0 +1,154 @@
+"""Best-effort control of the BLAS backend's worker-thread pool.
+
+Calibration must know how many threads a measured GEMM actually used:
+``np.matmul`` on a large matrix dispatches to the BLAS backend's own
+pool, which defaults to every core.  Scaling a "single-thread" rate by
+the core count when the measurement was already multi-threaded double
+counts the parallelism — the bug this module exists to prevent.
+
+Pinning is attempted through, in order:
+
+1. ``threadpoolctl`` when importable (the robust, portable path);
+2. a ``ctypes`` probe of the BLAS shared library the running process
+   has actually loaded (found via ``/proc/self/maps``), trying the
+   known ``*_set_num_threads`` entry points of OpenBLAS (including the
+   suffixed ``scipy-openblas`` builds), BLIS and MKL;
+3. a graceful no-op: :func:`blas_threads` still runs its body but
+   reports ``pinned=False`` so callers can account honestly instead of
+   scaling a rate they do not understand.
+
+The probe never raises: any failure simply downgrades to the no-op.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import ctypes
+import logging
+import os
+import re
+from typing import Callable, Iterator
+
+log = logging.getLogger("repro.perf")
+
+#: Library-name fragments identifying a BLAS implementation in the
+#: process memory map.
+_BLAS_LIB_PATTERN = re.compile(r"(/\S+(?:openblas|blis|mkl)\S*\.so\S*)", re.I)
+
+#: (setter, getter) symbol-name candidates, tried in order per library.
+#: Getters may be absent (MKL/BLIS); restoration then uses the value the
+#: caller supplies (default: ``os.cpu_count()``).
+_SYMBOL_CANDIDATES: tuple[tuple[str, str | None], ...] = (
+    ("openblas_set_num_threads", "openblas_get_num_threads"),
+    ("openblas_set_num_threads64_", "openblas_get_num_threads64_"),
+    ("scipy_openblas_set_num_threads64_", "scipy_openblas_get_num_threads64_"),
+    ("scipy_openblas_set_num_threads", "scipy_openblas_get_num_threads"),
+    ("MKL_Set_Num_Threads", None),
+    ("bli_thread_set_num_threads", None),
+)
+
+#: Cached probe result: None = not probed yet; [] = nothing controllable.
+_controls: "list[tuple[Callable[[int], None], Callable[[], int] | None]] | None" = None
+
+
+def _loaded_blas_paths() -> list[str]:
+    """Shared-library paths of every BLAS mapped into this process."""
+    paths: list[str] = []
+    try:
+        with open("/proc/self/maps") as fh:
+            for line in fh:
+                match = _BLAS_LIB_PATTERN.search(line)
+                if match and match.group(1) not in paths:
+                    paths.append(match.group(1))
+    except OSError:
+        pass  # non-Linux or hardened /proc: the ctypes path is unavailable
+    return paths
+
+
+def _probe_ctypes_controls() -> list[
+    "tuple[Callable[[int], None], Callable[[], int] | None]"
+]:
+    controls = []
+    for path in _loaded_blas_paths():
+        try:
+            lib = ctypes.CDLL(path)
+        except OSError:
+            continue
+        for set_name, get_name in _SYMBOL_CANDIDATES:
+            try:
+                setter = getattr(lib, set_name)
+            except AttributeError:
+                continue
+            getter = None
+            if get_name is not None:
+                try:
+                    getter = getattr(lib, get_name)
+                    getter.restype = ctypes.c_int
+                except AttributeError:
+                    getter = None
+            setter.argtypes = [ctypes.c_int]
+            controls.append((setter, getter))
+            break  # one entry point per library is enough
+    return controls
+
+
+def _get_controls():
+    global _controls
+    if _controls is None:
+        _controls = _probe_ctypes_controls()
+        if not _controls:
+            log.info(
+                "no controllable BLAS threadpool found; calibration will "
+                "report unpinned measurements"
+            )
+    return _controls
+
+
+def blas_pinning_available() -> bool:
+    """Whether :func:`blas_threads` can actually pin the pool."""
+    try:
+        import threadpoolctl  # noqa: F401
+
+        return True
+    except ImportError:
+        pass
+    return bool(_get_controls())
+
+
+@contextlib.contextmanager
+def blas_threads(n: int) -> Iterator[bool]:
+    """Run the body with the BLAS pool limited to *n* threads, best effort.
+
+    Yields True when a limiting mechanism took effect, False when the
+    body ran with whatever pool the backend chose — callers must branch
+    their accounting on this flag rather than assume success.
+    """
+    if n < 1:
+        raise ValueError(f"thread count must be >= 1, got {n}")
+    try:
+        from threadpoolctl import threadpool_limits
+    except ImportError:
+        threadpool_limits = None
+    if threadpool_limits is not None:
+        with threadpool_limits(limits=n, user_api="blas"):
+            yield True
+        return
+    controls = _get_controls()
+    if not controls:
+        yield False
+        return
+    previous: list[int] = []
+    for setter, getter in controls:
+        before = None
+        if getter is not None:
+            try:
+                before = int(getter())
+            except (OSError, ValueError):
+                before = None
+        previous.append(before if before and before > 0 else (os.cpu_count() or 1))
+        setter(int(n))
+    try:
+        yield True
+    finally:
+        for (setter, _getter), before in zip(controls, previous):
+            setter(int(before))

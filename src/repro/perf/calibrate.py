@@ -7,27 +7,49 @@ sustainable bandwidth, a large square GEMM for the compute peak, and
 sysfs for the cache size.  The resulting platform makes the synthetic
 profile and :mod:`repro.core.predict` host-accurate without running the
 full GEMM shape benchmark.
+
+Accounting notes (both were measurably wrong before and skewed every
+roofline-based plan prediction):
+
+* The triad here is two NumPy ufunc passes, not STREAM's single fused
+  loop, so it moves **40** bytes per element (see
+  :data:`TRIAD_BYTES_PER_ELEMENT`), not STREAM's nominal 24.
+* The GEMM peak is measured with the BLAS pool pinned to one thread
+  (:mod:`repro.perf.blasctl`); only a successfully *pinned* rate may be
+  scaled by the physical core count.  When no pinning mechanism exists
+  the measured rate already used every core and is taken as the all-core
+  peak directly.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.analysis.roofline import RooflinePlatform
+from repro.perf.blasctl import blas_threads
 from repro.perf.flops import gemm_flops, gflops_rate
 from repro.perf.machine import machine_info
 from repro.perf.timing import time_callable
 from repro.util.validation import check_positive_int
 
+#: Bytes moved per element by the two-pass NumPy triad below.
+#: ``np.multiply(c, s, out=a)`` reads c and writes a (16 B); ``np.add(a,
+#: b, out=a)`` reads a, reads b and writes a (24 B).  STREAM's fused
+#: ``a = b + s*c`` would move 24 B/element, but NumPy has no fused triad,
+#: and counting 24 for a 40-byte kernel underreported bandwidth by ~40%.
+TRIAD_BYTES_PER_ELEMENT = 40
+
 
 def measure_bandwidth(
     size_words: int = 8_000_000, min_seconds: float = 0.05
 ) -> float:
-    """Sustainable memory bandwidth in GB/s via the STREAM triad.
+    """Sustainable memory bandwidth in GB/s via a two-pass STREAM triad.
 
-    ``a = b + s * c`` streams three arrays (two reads, one write); the
-    reported figure counts 24 bytes moved per element, STREAM's
-    convention.
+    ``a = b + s * c`` implemented as two ufunc calls; the reported figure
+    counts the traffic those two passes actually generate —
+    :data:`TRIAD_BYTES_PER_ELEMENT` (40) bytes per element.
     """
     check_positive_int(size_words, "size_words")
     b = np.full(size_words, 1.5)
@@ -40,22 +62,50 @@ def measure_bandwidth(
         np.add(a, b, out=a)
 
     seconds = time_callable(triad, min_repeats=3, min_seconds=min_seconds)
-    bytes_moved = 24 * size_words  # read b, read c, write a
+    bytes_moved = TRIAD_BYTES_PER_ELEMENT * size_words
     return bytes_moved / seconds / 1e9
 
 
-def measure_peak_gflops(n: int = 768, min_seconds: float = 0.1) -> float:
-    """Near-peak double-precision rate via a large square GEMM."""
+@dataclass(frozen=True)
+class PeakMeasurement:
+    """A measured GEMM rate plus whether the BLAS pool was really pinned.
+
+    ``pinned=False`` means the backend used its default (usually
+    all-core) pool, so ``gflops`` is an *all-core* rate and must not be
+    multiplied by the core count.
+    """
+
+    gflops: float
+    pinned: bool
+
+
+def measure_peak(n: int = 768, min_seconds: float = 0.1) -> PeakMeasurement:
+    """Near-peak double-precision GEMM rate with the pool pinned to 1.
+
+    ``np.matmul`` at this size already fans out across every BLAS worker
+    thread; the measurement only deserves the name "single-thread rate"
+    when the pool is actually limited, so the pin status travels with
+    the number.
+    """
     check_positive_int(n, "n")
     rng = np.random.default_rng(0)
     a = rng.standard_normal((n, n))
     b = rng.standard_normal((n, n))
     out = np.empty((n, n))
-    seconds = time_callable(
-        lambda: np.matmul(a, b, out=out), min_repeats=2,
-        min_seconds=min_seconds,
+    with blas_threads(1) as pinned:
+        seconds = time_callable(
+            lambda: np.matmul(a, b, out=out), min_repeats=2,
+            min_seconds=min_seconds,
+        )
+    return PeakMeasurement(
+        gflops=gflops_rate(gemm_flops(n, n, n), seconds), pinned=pinned
     )
-    return gflops_rate(gemm_flops(n, n, n), seconds)
+
+
+def measure_peak_gflops(n: int = 768, min_seconds: float = 0.1) -> float:
+    """Single-thread GEMM rate (pool pinned when possible); see
+    :func:`measure_peak` for the pin status."""
+    return measure_peak(n=n, min_seconds=min_seconds).gflops
 
 
 def host_platform(
@@ -64,16 +114,23 @@ def host_platform(
 ) -> RooflinePlatform:
     """Measure this host and package it as a RooflinePlatform.
 
-    The measured peak is the *single-thread* rate scaled by the physical
-    core count (the model divides it back per-thread), and the spill/ramp
+    The all-core peak is the pinned single-thread rate scaled by the
+    physical core count (the model divides it back per-thread).  When
+    the BLAS pool could not be pinned, the measured rate already used
+    every core and becomes the all-core peak as-is — scaling it would
+    double count the backend's own parallelism.  The spill/ramp
     constants keep their calibrated defaults.
     """
     info = machine_info()
-    single = measure_peak_gflops(n=gemm_n)
+    peak = measure_peak(n=gemm_n)
     bandwidth = measure_bandwidth(size_words=stream_words)
+    if peak.pinned:
+        peak_all_cores = peak.gflops * info.physical_cores
+    else:
+        peak_all_cores = peak.gflops
     return RooflinePlatform(
         name=f"host: {info.cpu_model}",
-        peak_gflops=single * info.physical_cores,
+        peak_gflops=peak_all_cores,
         bandwidth_gbs=bandwidth,
         llc_bytes=info.llc_bytes,
         cores=info.physical_cores,

@@ -151,6 +151,8 @@ class HotCounters:
     tiles_executed: int = 0
     tile_pack_bytes: int = 0
     stream_chunks: int = 0
+    dse_measurements: int = 0
+    calibration_refits: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -241,6 +243,16 @@ class HotCounters:
         with self._lock:
             self.stream_chunks += n
 
+    def count_dse(self, measurements: int = 1) -> None:
+        """Report design-space-exploration timings taken on the live host."""
+        with self._lock:
+            self.dse_measurements += measurements
+
+    def count_calibration_refit(self) -> None:
+        """Report one refit of the calibrated cost model from measurements."""
+        with self._lock:
+            self.calibration_refits += 1
+
     def as_dict(self) -> dict:
         """A JSON-safe snapshot of every tally (plus the derived sums).
 
@@ -271,6 +283,8 @@ class HotCounters:
                 "tiles_executed": self.tiles_executed,
                 "tile_pack_bytes": self.tile_pack_bytes,
                 "stream_chunks": self.stream_chunks,
+                "dse_measurements": self.dse_measurements,
+                "calibration_refits": self.calibration_refits,
                 "dispatches": self.gemm_calls + self.batched_calls,
                 "total_slices": self.gemm_calls + self.batched_slices,
             }

@@ -2,10 +2,14 @@
 
 import pytest
 
+import repro.perf.calibrate as calibrate
 from repro.analysis.roofline import RooflinePlatform
 from repro.perf.calibrate import (
+    TRIAD_BYTES_PER_ELEMENT,
+    PeakMeasurement,
     host_platform,
     measure_bandwidth,
+    measure_peak,
     measure_peak_gflops,
 )
 
@@ -19,6 +23,16 @@ class TestBandwidth:
         with pytest.raises(ValueError):
             measure_bandwidth(size_words=0)
 
+    def test_counts_40_bytes_per_element(self, monkeypatch):
+        """Regression: the two-pass NumPy triad moves 40 B/element (one
+        16 B multiply pass + one 24 B add pass), not STREAM's fused 24 —
+        the old constant underreported bandwidth by ~40%."""
+        assert TRIAD_BYTES_PER_ELEMENT == 40
+        monkeypatch.setattr(calibrate, "time_callable",
+                            lambda *a, **kw: 0.5)
+        bw = measure_bandwidth(size_words=1_000_000)
+        assert bw == pytest.approx(40 * 1_000_000 / 0.5 / 1e9)
+
 
 class TestPeak:
     def test_positive_and_plausible(self):
@@ -28,6 +42,75 @@ class TestPeak:
     def test_validation(self):
         with pytest.raises(ValueError):
             measure_peak_gflops(n=0)
+
+    def test_measures_under_a_pinned_pool(self, monkeypatch):
+        """Regression: the GEMM runs inside ``blas_threads(1)`` and the
+        pin outcome travels with the rate, because only a truly
+        single-thread rate may be scaled by the core count."""
+        pins = []
+
+        class SpyPin:
+            def __init__(self, n):
+                pins.append(n)
+
+            def __enter__(self):
+                return True
+
+            def __exit__(self, *exc):
+                return False
+
+        monkeypatch.setattr(calibrate, "blas_threads", SpyPin)
+        result = measure_peak(n=64, min_seconds=0.001)
+        assert pins == [1]
+        assert isinstance(result, PeakMeasurement)
+        assert result.pinned is True
+        assert result.gflops > 0
+
+    def test_unpinnable_pool_reports_unpinned(self, monkeypatch):
+        class NoopPin:
+            def __init__(self, n):
+                pass
+
+            def __enter__(self):
+                return False  # no pinning mechanism found
+
+            def __exit__(self, *exc):
+                return False
+
+        monkeypatch.setattr(calibrate, "blas_threads", NoopPin)
+        result = measure_peak(n=64, min_seconds=0.001)
+        assert result.pinned is False
+
+
+class TestHostPlatformScaling:
+    def test_pinned_rate_scales_by_cores(self, monkeypatch):
+        monkeypatch.setattr(
+            calibrate, "measure_peak",
+            lambda **kw: PeakMeasurement(gflops=10.0, pinned=True),
+        )
+        monkeypatch.setattr(
+            calibrate, "measure_bandwidth", lambda **kw: 20.0
+        )
+        from repro.perf.machine import machine_info
+
+        platform = host_platform()
+        assert platform.peak_gflops == pytest.approx(
+            10.0 * machine_info().physical_cores
+        )
+        assert platform.bandwidth_gbs == 20.0
+
+    def test_unpinned_rate_taken_as_is(self, monkeypatch):
+        """An unpinned measurement already used every core; scaling it
+        would double count the backend's parallelism."""
+        monkeypatch.setattr(
+            calibrate, "measure_peak",
+            lambda **kw: PeakMeasurement(gflops=10.0, pinned=False),
+        )
+        monkeypatch.setattr(
+            calibrate, "measure_bandwidth", lambda **kw: 20.0
+        )
+        platform = host_platform()
+        assert platform.peak_gflops == pytest.approx(10.0)
 
 
 class TestHostPlatform:

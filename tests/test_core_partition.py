@@ -12,6 +12,7 @@ from repro.core.partition import (
     choose_degree,
     component_modes_for_degree,
     derive_thresholds,
+    describe_profile,
     kernel_working_set_bytes,
 )
 from repro.gemm.bench import GemmProfile, ShapePoint, synthetic_profile
@@ -127,6 +128,42 @@ class TestDeriveThresholds:
         ]
         with pytest.raises(BenchmarkError):
             derive_thresholds(GemmProfile(points), 16, threads=1)
+
+    def test_missing_m_error_names_the_profile(self, profile):
+        with pytest.raises(BenchmarkError) as exc_info:
+            derive_thresholds(profile, 999, threads=4)
+        message = str(exc_info.value)
+        assert "GemmProfile(" in message
+        assert "m=999" in message and "threads=4" in message
+
+    def test_all_short_series_error_names_profile_and_counts(self):
+        # Two k-series, each with only 2 n-points: every series is too
+        # short, and the error says which profile and how many failed.
+        points = [
+            ShapePoint(16, 64, 64, 1, 10.0),
+            ShapePoint(16, 64, 128, 1, 12.0),
+            ShapePoint(16, 128, 64, 1, 11.0),
+            ShapePoint(16, 128, 128, 1, 13.0),
+        ]
+        with pytest.raises(BenchmarkError) as exc_info:
+            derive_thresholds(GemmProfile(points), 16, threads=1)
+        message = str(exc_info.value)
+        assert "GemmProfile(" in message
+        assert "2" in message and "fewer than 3" in message
+
+
+class TestDescribeProfile:
+    def test_names_source_and_point_count(self):
+        shapes = [(16, 64, 2**ne) for ne in range(4, 8)]
+        profile = synthetic_profile(shapes, CORE_I7_4770K)
+        label = describe_profile(profile)
+        assert "synthetic" in label
+        assert str(len(profile)) in label
+
+    def test_tolerates_profiles_without_meta(self):
+        profile = GemmProfile([ShapePoint(16, 64, 64, 1, 10.0)])
+        label = describe_profile(profile)
+        assert "unknown-source" in label and "1 points" in label
 
 
 class TestChooseDegree:

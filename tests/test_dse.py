@@ -1,0 +1,599 @@
+"""Tests for the design-space exploration engine (repro.perf.dse)."""
+
+import dataclasses
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.autotune.store import PlanStore
+from repro.core.estimator import ParameterEstimator
+from repro.core.intensli import InTensLi
+from repro.core.partition import PAPER_THRESHOLDS, Thresholds
+from repro.core.tuner import enumerate_plans
+from repro.perf.dse import (
+    CALIBRATION_VERSION,
+    MAX_STORED_OBSERVATIONS,
+    CalibrationAccumulator,
+    CalibrationRecord,
+    DseCase,
+    DseConfig,
+    DseObservation,
+    explore,
+    fit_calibration,
+    fit_platform_inputs,
+    fit_pth,
+    fit_thresholds,
+    load_calibration_record,
+    merge_observations,
+    observation_from_plan,
+    run_calibration,
+    store_calibration,
+)
+from repro.util.errors import BenchmarkError, SchemaMismatchError
+
+FAKE_INFO = SimpleNamespace(
+    physical_cores=4,
+    logical_cpus=8,
+    llc_bytes=8 * 1024**2,
+    cpu_model="test-cpu",
+    fingerprint=lambda: "test-fp",
+)
+
+
+def obs(
+    ws,
+    rate,
+    kernel_threads=1,
+    loop_threads=1,
+    intensity=None,
+    pinned=False,
+    seconds=0.01,
+):
+    return DseObservation(
+        m=16,
+        k=64,
+        n=max(1, ws // 8),
+        kernel_threads=kernel_threads,
+        loop_threads=loop_threads,
+        working_set_bytes=ws,
+        seconds=seconds,
+        kernel_gflops=rate,
+        intensity=intensity,
+        pinned=pinned,
+    )
+
+
+def plan_for(shape=(6, 6, 6), mode=0, j=4, degree=None):
+    plans = enumerate_plans(shape, mode, j, max_threads=1, kernels=("blas",))
+    if degree is None:
+        return plans[0]
+    return next(p for p in plans if p.degree == degree)
+
+
+class TestObservation:
+    def test_round_trip(self):
+        o = obs(4096, 12.5, intensity=3.2, pinned=True)
+        assert DseObservation.from_dict(o.to_dict()) == o
+
+    def test_round_trip_none_intensity(self):
+        o = obs(4096, 12.5)
+        assert DseObservation.from_dict(o.to_dict()).intensity is None
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(BenchmarkError):
+            DseObservation.from_dict({"m": 16})
+        with pytest.raises(BenchmarkError):
+            DseObservation.from_dict({**obs(64, 1.0).to_dict(), "k": "bad"})
+
+
+class TestObservationFromPlan:
+    def test_inverts_the_cost_model(self):
+        plan = plan_for((8, 8, 8, 8), 0, 8, degree=2)
+        seconds = 0.02
+        o = observation_from_plan(plan, seconds)
+        iterations = max(1, plan.loop_iterations)
+        kernel_seconds = seconds * plan.loop_threads / iterations
+        assert o.kernel_gflops == pytest.approx(
+            plan.kernel_flops / kernel_seconds / 1e9
+        )
+        assert (o.m, o.k, o.n) == plan.kernel_shape
+        assert o.working_set_bytes == plan.kernel_working_set_bytes
+        assert o.source == "session"
+
+    def test_rejects_nonpositive_seconds(self):
+        with pytest.raises(BenchmarkError):
+            observation_from_plan(plan_for(), 0.0)
+
+
+class TestFitThresholds:
+    def test_window_spans_near_peak_observations(self):
+        scatter = [
+            obs(1_000, 5.0),   # slow: below kappa * peak
+            obs(10_000, 20.0),
+            obs(50_000, 25.0),  # peak
+            obs(200_000, 21.0),
+            obs(900_000, 4.0),  # slow again
+        ]
+        fitted = fit_thresholds(scatter, kappa=0.8)
+        assert fitted[1].msth_bytes == 10_000
+        assert fitted[1].mlth_bytes == 200_000
+
+    def test_groups_by_kernel_threads(self):
+        scatter = [obs(s, r) for s, r in [(1e3, 10), (1e4, 12), (1e5, 11)]]
+        scatter += [
+            obs(s, r, kernel_threads=4)
+            for s, r in [(1e3, 30), (1e4, 40), (1e5, 35)]
+        ]
+        scatter = [dataclasses.replace(o, working_set_bytes=int(o.working_set_bytes))
+                   for o in scatter]
+        fitted = fit_thresholds(scatter)
+        assert set(fitted) == {1, 4}
+
+    def test_too_few_distinct_sizes_raises(self):
+        with pytest.raises(BenchmarkError):
+            fit_thresholds([obs(1000, 10.0), obs(2000, 11.0)])
+
+    def test_same_size_repeated_does_not_count(self):
+        with pytest.raises(BenchmarkError):
+            fit_thresholds([obs(1000, r) for r in (9.0, 10.0, 11.0, 12.0)])
+
+    def test_kappa_validated(self):
+        with pytest.raises(ValueError):
+            fit_thresholds([obs(1000, 1.0)], kappa=1.5)
+
+
+class TestFitPth:
+    def test_crossover_found(self):
+        # Loops win on small kernels, the kernel pool wins past 64 KiB.
+        scatter = [
+            obs(8_000, 30.0, loop_threads=4),
+            obs(8_100, 10.0, kernel_threads=4),
+            obs(100_000, 20.0, loop_threads=4),
+            obs(101_000, 28.0, kernel_threads=4),
+        ]
+        assert fit_pth(scatter) == 101_000
+
+    def test_single_thread_sweep_gives_none(self):
+        assert fit_pth([obs(1000, 10.0), obs(2000, 12.0)]) is None
+
+    def test_kernel_never_wins(self):
+        scatter = [
+            obs(8_000, 30.0, loop_threads=4),
+            obs(8_100, 10.0, kernel_threads=4),
+        ]
+        assert fit_pth(scatter) == 2 * 8_100
+
+
+class TestFitPlatformInputs:
+    def test_pinned_single_thread_scales_by_cores(self):
+        peak, _ = fit_platform_inputs(
+            [obs(1000, 10.0, pinned=True)], info=FAKE_INFO
+        )
+        assert peak == pytest.approx(40.0)
+
+    def test_unpinned_rate_taken_as_is(self):
+        peak, _ = fit_platform_inputs([obs(1000, 10.0)], info=FAKE_INFO)
+        assert peak == pytest.approx(10.0)
+
+    def test_bandwidth_from_memory_bound_observations(self):
+        big = FAKE_INFO.llc_bytes * 2
+        scatter = [
+            obs(big, 5.0, intensity=2.0),       # 5*8/2 = 20 GB/s
+            obs(big + 8, 6.0, intensity=2.0),   # 24 GB/s
+            obs(big + 16, 7.0, intensity=2.0),  # 28 GB/s
+            obs(1000, 50.0, intensity=2.0),     # cache-resident: excluded
+        ]
+        _, bw = fit_platform_inputs(scatter, info=FAKE_INFO)
+        assert bw == pytest.approx(24.0)
+
+    def test_none_when_nothing_qualifies(self):
+        peak, bw = fit_platform_inputs([], info=FAKE_INFO)
+        assert peak is None and bw is None
+
+
+class TestCalibrationRecord:
+    def record(self, **overrides):
+        base = dict(
+            fingerprint="fp",
+            thresholds={1: Thresholds(1000, 50_000), 4: Thresholds(2000, 90_000)},
+            pth_bytes=65_536,
+            peak_gflops=40.0,
+            bandwidth_gbs=20.0,
+            samples=17,
+        )
+        base.update(overrides)
+        return CalibrationRecord(**base)
+
+    def test_round_trip(self):
+        r = self.record()
+        again = CalibrationRecord.from_dict(r.to_dict())
+        assert again == r
+        assert again.digest() == r.digest()
+
+    def test_version_mismatch_rejected(self):
+        payload = self.record().to_dict()
+        payload["version"] = CALIBRATION_VERSION + 1
+        with pytest.raises(SchemaMismatchError):
+            CalibrationRecord.from_dict(payload)
+
+    def test_malformed_payload_raises(self):
+        payload = self.record().to_dict()
+        payload["thresholds"] = {"1": {"msth_bytes": "bad"}}
+        with pytest.raises(BenchmarkError):
+            CalibrationRecord.from_dict(payload)
+
+    def test_digest_distinguishes_fits(self):
+        assert self.record().digest() != self.record(samples=18).digest()
+
+    def test_thresholds_for_picks_largest_eligible(self):
+        r = self.record()
+        assert r.thresholds_for(16, 4) == r.thresholds[4]
+        assert r.thresholds_for(16, 2) == r.thresholds[1]
+
+    def test_thresholds_for_under_budget_falls_to_smallest(self):
+        r = self.record(thresholds={8: Thresholds(1000, 2000)})
+        assert r.thresholds_for(16, 1) == r.thresholds[8]
+
+    def test_thresholds_for_empty_record_is_none(self):
+        assert self.record(thresholds={}).thresholds_for(16, 4) is None
+
+    def test_platform_needs_both_figures(self):
+        assert self.record(peak_gflops=None).platform(FAKE_INFO) is None
+        assert self.record(bandwidth_gbs=None).platform(FAKE_INFO) is None
+        platform = self.record().platform(FAKE_INFO)
+        assert platform.peak_gflops == 40.0
+        assert platform.bandwidth_gbs == 20.0
+        assert platform.cores == FAKE_INFO.physical_cores
+
+    def test_summary_rows_render(self):
+        rows = self.record().summary_rows()
+        labels = [label for label, _ in rows]
+        assert "PTH" in labels and "samples" in labels
+
+
+class TestFitCalibration:
+    def scatter(self):
+        return [
+            obs(1_000, 5.0, pinned=True),
+            obs(10_000, 20.0, pinned=True),
+            obs(50_000, 25.0, pinned=True),
+            obs(200_000, 21.0, pinned=True),
+        ]
+
+    def test_fits_everything_available(self):
+        record = fit_calibration(
+            self.scatter(), fingerprint="fp", info=FAKE_INFO
+        )
+        assert record.fingerprint == "fp"
+        assert 1 in record.thresholds
+        assert record.peak_gflops == pytest.approx(100.0)  # 25 * 4 cores
+        assert record.bandwidth_gbs is None  # nothing memory-bound
+        assert record.pth_bytes is None  # single-thread sweep
+        assert record.samples == 4
+
+    def test_unfittable_scatter_raises(self):
+        with pytest.raises(BenchmarkError):
+            fit_calibration([obs(1000, 1.0)], info=FAKE_INFO)
+
+
+class TestStorePersistence:
+    def store(self, tmp_path):
+        return PlanStore(str(tmp_path / "plans.json"), fingerprint="fp")
+
+    def test_round_trip(self, tmp_path):
+        store = self.store(tmp_path)
+        record = fit_calibration(
+            [obs(s, r) for s, r in [(1000, 5), (10_000, 20), (100_000, 18)]],
+            fingerprint="fp",
+            info=FAKE_INFO,
+        )
+        store_calibration(store, record, [obs(1000, 5.0)])
+        again, observations = load_calibration_record(store)
+        assert again == record
+        assert len(observations) == 1
+
+    def test_missing_section_loads_empty(self, tmp_path):
+        record, observations = load_calibration_record(self.store(tmp_path))
+        assert record is None and observations == []
+
+    def test_stale_version_downgrades_to_none(self, tmp_path):
+        store = self.store(tmp_path)
+        store.save_calibration(
+            {"record": {"version": CALIBRATION_VERSION + 1}, "observations": []}
+        )
+        record, observations = load_calibration_record(store)
+        assert record is None and observations == []
+
+    def test_entry_save_preserves_calibration(self, tmp_path):
+        store = self.store(tmp_path)
+        record = fit_calibration(
+            [obs(s, r) for s, r in [(1000, 5), (10_000, 20), (100_000, 18)]],
+            info=FAKE_INFO,
+        )
+        store_calibration(store, record)
+        store.save({"some-key": {"plan": {}, "seconds": 1.0}})
+        again, _ = load_calibration_record(store)
+        assert again == record
+
+    def test_calibration_save_preserves_entries(self, tmp_path):
+        store = self.store(tmp_path)
+        entries = {"some-key": {"plan": {"shape": [2, 2]}, "seconds": 1.0}}
+        store.save(entries)
+        store.save_calibration({"record": None, "observations": []})
+        assert store.load() == entries
+
+    def test_observation_cap(self, tmp_path):
+        store = self.store(tmp_path)
+        record = fit_calibration(
+            [obs(s, r) for s, r in [(1000, 5), (10_000, 20), (100_000, 18)]],
+            info=FAKE_INFO,
+        )
+        flood = [obs(1000 + i, 1.0) for i in range(MAX_STORED_OBSERVATIONS + 40)]
+        store_calibration(store, record, flood)
+        _, observations = load_calibration_record(store)
+        assert len(observations) == MAX_STORED_OBSERVATIONS
+        assert observations[-1] == flood[-1]  # newest kept
+
+
+class TestMergeObservations:
+    def test_caps_and_keeps_newest(self):
+        old = [obs(1000 + i, 1.0) for i in range(MAX_STORED_OBSERVATIONS)]
+        new = [obs(9_999_999, 2.0)]
+        merged = merge_observations(old, new)
+        assert len(merged) == MAX_STORED_OBSERVATIONS
+        assert merged[-1] == new[0]
+        assert old[0] not in merged
+
+
+class TestEstimatorConsultsCalibration:
+    def calibrated(self):
+        window = Thresholds(1234, 56_789)
+        record = CalibrationRecord(fingerprint="fp", thresholds={1: window})
+        return record, window
+
+    def test_calibration_takes_precedence(self):
+        record, window = self.calibrated()
+        est = ParameterEstimator(max_threads=1, calibration=record)
+        assert est.thresholds_for(16) == window
+
+    def test_paper_defaults_without_calibration(self):
+        assert ParameterEstimator(max_threads=1).thresholds_for(16) \
+            == PAPER_THRESHOLDS
+
+    def test_empty_record_falls_back(self):
+        record = CalibrationRecord(fingerprint="fp")
+        est = ParameterEstimator(max_threads=1, calibration=record)
+        assert est.thresholds_for(16) == PAPER_THRESHOLDS
+
+    def test_swapping_records_invalidates_cache(self):
+        record, window = self.calibrated()
+        est = ParameterEstimator(max_threads=1, calibration=record)
+        assert est.thresholds_for(16) == window
+        other = CalibrationRecord(
+            fingerprint="fp", thresholds={1: Thresholds(999, 888_888)}
+        )
+        est.calibration = other
+        assert est.thresholds_for(16) == other.thresholds[1]
+        est.calibration = None
+        assert est.thresholds_for(16) == PAPER_THRESHOLDS
+
+
+class TestAttachCalibration:
+    def test_attach_sets_estimator_and_pth(self):
+        lib = InTensLi()
+        record = CalibrationRecord(
+            fingerprint="fp",
+            thresholds={1: Thresholds(1000, 50_000)},
+            pth_bytes=123_456,
+        )
+        lib.attach_calibration(record)
+        assert lib.estimator.calibration is record
+        assert lib.estimator.pth_bytes == 123_456
+        assert lib.estimator.thresholds_for(16) == record.thresholds[1]
+
+    def test_fitted_platform_rebuilds_profile(self):
+        lib = InTensLi()
+        record = CalibrationRecord(
+            fingerprint="fp",
+            thresholds={1: Thresholds(1000, 50_000)},
+            peak_gflops=99.0,
+            bandwidth_gbs=11.0,
+        )
+        lib.attach_calibration(record)
+        assert lib.platform.peak_gflops == 99.0
+        assert lib.estimator.profile is lib.profile
+
+    def test_detach_restores_paper_defaults(self):
+        lib = InTensLi()
+        lib.attach_calibration(
+            CalibrationRecord(
+                fingerprint="fp", thresholds={1: Thresholds(1000, 50_000)}
+            )
+        )
+        lib.attach_calibration(None)
+        assert lib.estimator.calibration is None
+
+    def test_attached_plans_still_valid(self):
+        lib = InTensLi()
+        lib.attach_calibration(
+            CalibrationRecord(
+                fingerprint="fp",
+                thresholds={1: Thresholds(8 * 1024, 512 * 1024)},
+            )
+        )
+        plan = lib.plan((12, 12, 12, 12), 0, 8)
+        assert plan.degree >= 1
+
+
+class TestExplore:
+    def config(self, **overrides):
+        base = dict(
+            cases=(DseCase(shape=(4, 4, 4), mode=0, j=4),),
+            min_seconds=0.0005,
+            max_seconds=10.0,
+            simulate_traffic=False,
+        )
+        base.update(overrides)
+        return DseConfig(**base)
+
+    def test_observes_every_plan_within_budget(self):
+        config = self.config()
+        observations = explore(config)
+        plans = enumerate_plans((4, 4, 4), 0, 4, max_threads=1)
+        assert len(observations) == len(plans)
+        for o in observations:
+            assert o.seconds > 0 and o.kernel_gflops > 0
+            assert o.source == "dse"
+
+    def test_budget_truncates(self):
+        observations = explore(self.config(max_seconds=1e-9))
+        assert observations == []
+
+    def test_traffic_simulation_attaches_intensity(self):
+        observations = explore(self.config(simulate_traffic=True))
+        assert any(o.intensity is not None for o in observations)
+
+    def test_config_validation(self):
+        with pytest.raises(BenchmarkError):
+            DseConfig(cases=())
+        with pytest.raises(BenchmarkError):
+            self.config(max_seconds=0.0)
+
+
+class TestRunCalibration:
+    def test_sweeps_fits_and_persists(self, tmp_path):
+        store = PlanStore(str(tmp_path / "plans.json"), fingerprint="fp")
+        config = DseConfig(
+            cases=(
+                DseCase(shape=(4, 4, 4), mode=0, j=4),
+                DseCase(shape=(6, 6, 6), mode=0, j=4),
+                DseCase(shape=(8, 8, 8), mode=0, j=4),
+            ),
+            min_seconds=0.0005,
+            max_seconds=20.0,
+            simulate_traffic=False,
+        )
+        record = run_calibration(store, config=config)
+        assert record.samples > 0
+        assert record.fingerprint == "fp"
+        again, observations = load_calibration_record(store)
+        assert again == record
+        assert len(observations) == record.samples
+
+    def test_empty_sweep_raises(self, tmp_path):
+        store = PlanStore(str(tmp_path / "plans.json"), fingerprint="fp")
+        config = DseConfig(
+            cases=(DseCase(shape=(4, 4, 4), mode=0, j=4),),
+            max_seconds=1e-9,
+            simulate_traffic=False,
+        )
+        with pytest.raises(BenchmarkError):
+            run_calibration(store, config=config)
+
+
+class TestAccumulator:
+    def accumulator(self, tmp_path, **overrides):
+        store = PlanStore(str(tmp_path / "plans.json"), fingerprint="fp")
+        base = dict(min_samples=4, refit_every=2, info=FAKE_INFO)
+        base.update(overrides)
+        return CalibrationAccumulator(store, **base)
+
+    def feed(self, acc, shapes=((4, 4, 4), (6, 6, 6), (8, 8, 8))):
+        for shape in shapes:
+            for plan in enumerate_plans(shape, 0, 4, max_threads=1):
+                acc.observe(plan, 0.001)
+
+    def test_starts_cold_without_store_state(self, tmp_path):
+        acc = self.accumulator(tmp_path)
+        assert acc.record is None and acc.observations == []
+
+    def test_refit_waits_for_min_samples(self, tmp_path):
+        acc = self.accumulator(tmp_path, min_samples=100)
+        self.feed(acc)
+        assert acc.maybe_refit() is None
+
+    def test_refit_fits_and_persists(self, tmp_path):
+        acc = self.accumulator(tmp_path)
+        self.feed(acc)
+        record = acc.maybe_refit()
+        assert record is not None
+        assert record.source == "session"
+        assert acc.record is record
+        persisted, _ = load_calibration_record(acc.store)
+        assert persisted == record
+
+    def test_unfittable_data_defers_without_raising(self, tmp_path):
+        acc = self.accumulator(tmp_path)
+        plan = plan_for((4, 4, 4), 0, 4)
+        for _ in range(6):  # plenty of samples, but one working set
+            acc.observe(plan, 0.001)
+        assert acc.maybe_refit() is None
+        assert acc._new_since_fit == 0  # deferred, not retried every call
+
+    def test_next_process_starts_warm(self, tmp_path):
+        acc = self.accumulator(tmp_path)
+        self.feed(acc)
+        record = acc.maybe_refit()
+        fresh = self.accumulator(tmp_path)
+        assert fresh.record == record
+        assert len(fresh.observations) == len(acc.observations)
+
+    def test_observation_cap(self, tmp_path):
+        acc = self.accumulator(tmp_path)
+        plan = plan_for((4, 4, 4), 0, 4)
+        for _ in range(MAX_STORED_OBSERVATIONS + 25):
+            acc.observe(plan, 0.001)
+        assert len(acc.observations) == MAX_STORED_OBSERVATIONS
+
+
+class TestSessionCalibration:
+    def session(self, tmp_path, **overrides):
+        from repro.autotune.session import AutotuneSession
+
+        base = dict(
+            path=str(tmp_path / "plans.json"),
+            calibrate=True,
+            calibration_min_samples=4,
+            calibration_refit_every=2,
+        )
+        base.update(overrides)
+        session = AutotuneSession(**base)
+        session._measure = lambda plan, x, u: 0.001
+        return session
+
+    def run_traffic(self, session):
+        rng = np.random.default_rng(0)
+        for side in (4, 6, 8):
+            shape = (side, side, side)
+            from repro.tensor.dense import DenseTensor
+
+            x = DenseTensor(rng.standard_normal(shape))
+            u = rng.standard_normal((4, side))
+            session.ttm(x, u, 0)
+
+    def test_calibrate_implies_refinement(self, tmp_path):
+        assert self.session(tmp_path).refine
+
+    def test_accumulates_and_adopts_refit(self, tmp_path):
+        session = self.session(tmp_path)
+        self.run_traffic(session)
+        record = session.calibration
+        assert record is not None
+        assert record.source == "session"
+        assert session.lib.estimator.calibration is record
+
+    def test_persisted_record_attaches_on_next_session(self, tmp_path):
+        session = self.session(tmp_path)
+        self.run_traffic(session)
+        fitted = session.calibration
+        session.save()
+        fresh = self.session(tmp_path)
+        assert fresh.calibration == fitted
+        assert fresh.lib.estimator.calibration == fitted
+
+    def test_plain_session_has_no_accumulator(self, tmp_path):
+        from repro.autotune.session import AutotuneSession
+
+        session = AutotuneSession(path=str(tmp_path / "plans.json"))
+        assert session.calibration is None
