@@ -18,6 +18,11 @@ execution on the same operands:
   memmap-backed input and output (``ttm_tiled(..., out_path=...)``),
   reported as wall seconds — informational, since it times the page
   cache as much as the code.
+* ``journal ovh %`` — the price of crash-safety: the same tiled
+  execution with ``journal_path=`` set (per-tile crc32 + an appended,
+  group-fsynced commit record) against the unjournaled run.  The
+  regression gate holds this under a fixed 5% ceiling
+  (``HARD_CEILINGS`` in ``check_regression.py``).
 
 Run as a script for the full table, or ``--quick`` for the small grid
 the bench-regression workflow gates on.
@@ -38,7 +43,7 @@ if __package__ in (None, ""):
 from benchmarks.common import print_header, print_series, run_main
 from repro.core.inttm import default_plan, ttm_inplace
 from repro.core.tiling import TilingPlanner, execute_tiled, ttm_tiled
-from repro.perf.timing import time_callable
+from repro.perf.timing import Timer, time_callable
 from repro.resilience import plan_footprint_bytes
 from repro.tensor.dense import DenseTensor, open_memmap_tensor
 from repro.tensor.layout import ROW_MAJOR
@@ -59,6 +64,26 @@ QUICK_CASES = [
     ((64, 48, 32), 16, 2),
     ((48, 32, 64), 16, 0),
 ]
+
+#: Journal-overhead cases deliberately pick a large contracted mode:
+#: flops per output byte scale with ``I_mode``, while the journal cost
+#: (crc32 of the landed region + one appended record) scales with the
+#: output bytes, so these reflect the out-of-core jobs a journal is
+#: actually for.  Tiny contractions would price the fixed ~1 ms fsync
+#: cost of opening/closing the journal instead, which amortises to
+#: nothing on any job long enough to be worth resuming.
+JOURNAL_CASES = [
+    ((96, 64, 8192), 32, 2),
+    ((64, 48, 8192), 48, 2),
+]
+
+#: Back-to-back (plain, journaled) pairs per case.  The overhead column
+#: is the *minimum* per-pair ratio — the same least-noise estimator
+#: :func:`repro.perf.timing.time_callable` uses — because differencing
+#: two independently-timed legs on a shared host swamps a few-percent
+#: effect in machine drift, while a ratio taken within one pair cancels
+#: it.
+JOURNAL_PAIRS = 5
 
 MIN_SECONDS = 0.05
 
@@ -134,6 +159,78 @@ def measure_disk_leg(shape, j, mode, min_seconds=MIN_SECONDS):
         return time_callable(run, min_seconds=min_seconds)
 
 
+def measure_journal_case(shape, j, mode, pairs=JOURNAL_PAIRS):
+    """Tiled execution with and without a commit journal, same operands.
+
+    Runs *pairs* back-to-back (plain, journaled) executions and reports
+    the minimum per-pair time ratio as the overhead, so slow machine
+    phases hit both legs of a pair and cancel out of the column the
+    regression gate holds under its fixed ceiling.
+    """
+    x, u = build_case(shape, j, mode)
+    base = default_plan(shape, mode, j, x.layout)
+    budget = plan_footprint_bytes(base, allocate_out=False) // 2
+    tiling = TilingPlanner().plan(base, budget=budget, out_preallocated=True)
+    assert tiling.tiled, f"{shape} mode {mode} did not tile at {budget}B"
+    out_shape = tuple(
+        j if axis == mode else extent for axis, extent in enumerate(shape)
+    )
+    out = DenseTensor.empty(out_shape, x.layout)
+    ratios = []
+    secs_plain = []
+    secs_journal = []
+    with tempfile.TemporaryDirectory() as tmp:
+        counter = [0]
+
+        def plain():
+            return execute_tiled(x, u, tiling, out=out)
+
+        def journaled():
+            counter[0] += 1
+            return execute_tiled(
+                x, u, tiling, out=out,
+                journal_path=os.path.join(tmp, f"j{counter[0]}.jsonl"),
+            )
+
+        plain()
+        journaled()
+        timer = Timer()
+        for _ in range(max(1, pairs)):
+            with timer:
+                plain()
+            with timer:
+                journaled()
+            t_plain, t_journal = timer.laps[-2], timer.laps[-1]
+            secs_plain.append(t_plain)
+            secs_journal.append(t_journal)
+            ratios.append(t_journal / t_plain if t_plain > 0 else 1.0)
+    return {
+        "shape": "x".join(str(s) for s in shape),
+        "mode": mode,
+        "j": j,
+        "tiles": tiling.n_tiles,
+        "ms_plain": min(secs_plain) * 1e3,
+        "ms_journal": min(secs_journal) * 1e3,
+        "overhead_pct": (min(ratios) - 1.0) * 100.0,
+    }
+
+
+def report_journal(rows, title):
+    print_series(
+        ["shape", "mode", "J", "tiles",
+         "plain (ms)", "journaled (ms)", "journal ovh %"],
+        [
+            (
+                r["shape"], r["mode"], r["j"], r["tiles"],
+                f"{r['ms_plain']:.3f}", f"{r['ms_journal']:.3f}",
+                f"{r['overhead_pct']:.2f}",
+            )
+            for r in rows
+        ],
+        export_name=title,
+    )
+
+
 def report(rows, title):
     print_series(
         ["shape", "mode", "J", "budget KiB", "tiles", "path",
@@ -167,6 +264,11 @@ def test_disk_leg_completes():
     assert secs > 0
 
 
+def test_journal_leg_completes():
+    row = measure_journal_case((64, 48, 256), 16, 2, pairs=1)
+    assert row["tiles"] > 1
+
+
 # -- script entry --------------------------------------------------------------
 
 
@@ -179,8 +281,18 @@ def main() -> int:
     if quick:
         print("[quick] regression-gate grid only\n")
         report([measure_case(*case) for case in QUICK_CASES], "ooc_ttm_quick")
+        print("crash-safety tax (journaled vs plain tiled execution):")
+        report_journal(
+            [measure_journal_case(*case) for case in JOURNAL_CASES],
+            "ooc_journal_quick",
+        )
         return 0
     report([measure_case(*case) for case in FULL_CASES], "ooc_ttm")
+    print("crash-safety tax (journaled vs plain tiled execution):")
+    report_journal(
+        [measure_journal_case(*case) for case in JOURNAL_CASES],
+        "ooc_journal",
+    )
     print("disk leg (memmap in, memmap out, page cache warm):")
     for case in FULL_CASES[:2]:
         shape, j, mode = case

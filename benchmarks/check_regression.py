@@ -12,7 +12,10 @@ transfer across machines, while raw GFLOP/s or microsecond columns do
 not.  The exception is the serving series (``ABSOLUTE_GATES``), whose
 p99 latency and sustained GFLOP/s are the service-level objective
 itself — those gate absolutely, in the direction that matters (latency
-may not rise, throughput may not fall, beyond the tolerance).  Other
+may not rise, throughput may not fall, beyond the tolerance).  A third
+kind, ``HARD_CEILINGS``, gates against a fixed budget rather than the
+baseline — the crash-journal overhead column must stay under its
+ceiling no matter how cheap the baseline host measured it.  Other
 absolute columns are reported for context but never gate.
 
 Usage::
@@ -48,6 +51,16 @@ ABSOLUTE_GATES: dict[str, dict[str, str]] = {
     # the raw hit counts) because both estimators time under identical
     # conditions, so it transfers across hosts the way speedups do.
     "fig12_convergence": {"cal/default": "higher"},
+}
+
+#: Per-series fixed ceilings: exact header -> maximum allowed value,
+#: regardless of what the baseline measured.  Unlike the relative gates
+#: these encode an engineering budget, not drift detection: the journal
+#: overhead column, for example, must stay under 5% on *any* host, even
+#: one whose baseline happened to measure 0.5%.  Every row in the
+#: current run is held to the ceiling.
+HARD_CEILINGS: dict[str, dict[str, float]] = {
+    "ooc_journal_quick": {"journal ovh %": 5.0},
 }
 
 
@@ -107,7 +120,9 @@ def compare_series(
     for i, h in enumerate(headers):
         if h in absolute:
             gated[i] = absolute[h]
-    if not gated:
+    hard = HARD_CEILINGS.get(name, {})
+    hard_cols = {i: hard[h] for i, h in enumerate(headers) if h in hard}
+    if not gated and not hard_cols:
         report.append(f"{name}: no gated columns; informational only")
         return report, failures
     current_rows = dict(zip(row_keys(current["rows"]), current["rows"]))
@@ -145,6 +160,27 @@ def compare_series(
                     f"{name}: {key[0]} {headers[i]} {moved} to {cur_val:.2f} "
                     f"(baseline {base_val:.2f}, allowed {bound_name} "
                     f"{bound:.2f})"
+                )
+    for key, cur_row in current_rows.items():
+        for i, ceiling in sorted(hard_cols.items()):
+            cur_val = parse_metric(cur_row[i])
+            if cur_val is None:
+                failures.append(
+                    f"{name}: {key[0]} {headers[i]}: non-numeric cell "
+                    f"({cur_row[i]!r}) under a hard ceiling"
+                )
+                continue
+            ok = cur_val <= ceiling
+            verdict = "ok" if ok else "REGRESSED"
+            report.append(
+                f"{name}: {key[0]:16s} {headers[i]:12s} "
+                f"hard ceiling {ceiling:8.2f}  current {cur_val:8.2f}  "
+                f"{verdict}"
+            )
+            if not ok:
+                failures.append(
+                    f"{name}: {key[0]} {headers[i]} at {cur_val:.2f} "
+                    f"exceeds the fixed ceiling {ceiling:.2f}"
                 )
     return report, failures
 

@@ -33,9 +33,10 @@ exceptions: :class:`~repro.util.errors.StoreCorruptError` (truncated or
 mangled JSON — e.g. a reader racing a non-atomic writer),
 :class:`~repro.util.errors.SchemaMismatchError` (file from another
 release) and :class:`~repro.util.errors.FingerprintMismatchError` (file
-from another machine).  Writes go through a temp file + ``os.replace``
-so a concurrent reader only ever sees the old or the new file, never a
-half-written one.
+from another machine).  Writes go through a temp file that is fsync'd
+before an ``os.replace`` (and the directory fsync'd after), so a
+concurrent reader only ever sees the old or the new file — never a
+half-written one — and a power loss cannot publish a torn store either.
 """
 
 from __future__ import annotations
@@ -47,6 +48,7 @@ import tempfile
 import time
 
 from repro.core.serialize import cache_header, check_cache_header
+from repro.perf.profiler import active_hot_counters
 from repro.resilience.faults import active_faults, record_degradation
 from repro.util.errors import StoreCorruptError
 
@@ -240,6 +242,12 @@ class PlanStore:
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(payload, fh, indent=2)
+                # os.replace alone only orders the rename against other
+                # *renames*; without flushing the temp file's data (and
+                # the directory entry) to media first, a power loss can
+                # publish a zero-length or torn store at the final path.
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp_path, self.path)
         except BaseException:
             try:
@@ -247,6 +255,20 @@ class PlanStore:
             except OSError:
                 pass
             raise
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            dir_fd = None
+        if dir_fd is not None:
+            try:
+                os.fsync(dir_fd)
+            except OSError:
+                pass
+            finally:
+                os.close(dir_fd)
+        counters = active_hot_counters()
+        if counters is not None:
+            counters.count_store_fsync()
 
     def clear(self) -> bool:
         """Delete the store file; True when one existed."""

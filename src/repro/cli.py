@@ -555,6 +555,32 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_recover_show(args) -> int:
+    from repro.resilience.recovery import describe_journal
+
+    for label, value in describe_journal(args.journal):
+        print(f"{label:<18} {value}")
+    return 0
+
+
+def cmd_recover_resume(args) -> int:
+    from repro.resilience.recovery import resume_job
+
+    summary = resume_job(args.journal)
+    kind = summary.pop("kind", "?")
+    detail = ", ".join(f"{k}={v}" for k, v in summary.items())
+    print(f"resumed {kind}: {detail}")
+    return 0
+
+
+def cmd_recover_verify(args) -> int:
+    from repro.resilience.recovery import verify_journal
+
+    report = verify_journal(args.journal, out_path=args.out)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -820,6 +846,39 @@ def build_parser() -> argparse.ArgumentParser:
     warm.add_argument("--threads", type=int, default=1)
     warm.add_argument("--path", default=None, help="store file override")
     warm.set_defaults(fn=cmd_cache_warm)
+
+    recover = sub.add_parser(
+        "recover",
+        help="inspect, resume, or verify a journaled out-of-core job",
+    )
+    recover_sub = recover.add_subparsers(dest="action", required=True)
+
+    rshow = recover_sub.add_parser(
+        "show", help="summarize a journal: kind, progress, status"
+    )
+    rshow.add_argument("journal", help="journal manifest path")
+    rshow.set_defaults(fn=cmd_recover_show)
+
+    rresume = recover_sub.add_parser(
+        "resume",
+        help="finish an interrupted job from its manifest "
+        "(requires recorded input paths)",
+    )
+    rresume.add_argument("journal", help="journal manifest path")
+    rresume.set_defaults(fn=cmd_recover_resume)
+
+    rverify = recover_sub.add_parser(
+        "verify",
+        help="re-checksum the landed result against the journal's "
+        "commit records (exit 1 on any mismatch)",
+    )
+    rverify.add_argument("journal", help="journal manifest path")
+    rverify.add_argument(
+        "--out", default=None,
+        help="output file override (defaults to the journal's recorded "
+        "out_path)",
+    )
+    rverify.set_defaults(fn=cmd_recover_verify)
     return parser
 
 

@@ -34,6 +34,11 @@ Failure atomicity: every per-tile decision — plan construction, scratch
 sizing, the ``alloc-fail`` fault checkpoint — is pre-flighted for *all*
 tiles before the first output byte is written, so an execution that
 cannot complete leaves the output untouched rather than half-written.
+Disk outputs extend this across *process* death: an ``out_path`` result
+is staged in ``<out_path>.partial`` and atomically published only when
+complete, and ``journal_path=`` adds checksummed per-tile commit records
+so a killed job resumes from its last committed tile
+(:mod:`repro.resilience.recovery`).
 
 :func:`ttm_stream` is the orthogonal API for tensors that do not exist
 yet: it consumes slices produced incrementally along one axis and emits
@@ -64,10 +69,30 @@ from repro.resilience.memory import (
     pinned_budget,
     plan_footprint_bytes,
 )
+from repro.resilience.recovery import (
+    Journal,
+    atomic_save_array,
+    committed_units,
+    digest_payload,
+    file_checksum,
+    fingerprint_array,
+    fingerprint_tensor,
+    is_done,
+    memmap_path,
+    open_or_resume,
+    partial_path,
+    publish_file,
+    region_checksum,
+)
 from repro.tensor.dense import DenseTensor, open_memmap_tensor
 from repro.tensor.layout import Layout
 from repro.util.dtypes import is_supported_dtype
-from repro.util.errors import DtypeError, ResourceError, ShapeError
+from repro.util.errors import (
+    DtypeError,
+    RecoveryError,
+    ResourceError,
+    ShapeError,
+)
 
 #: ``planner(shape, mode, j, layout, dtype=...) -> TtmPlan`` — the seam
 #: through which tiling reuses whatever planning the caller has (the
@@ -171,6 +196,30 @@ class TilingPlan:
         """Every tile in odometer order; their union partitions the input."""
         for index, ranges in enumerate(tile_grid(self.shape, self.parts)):
             yield TileSpec(index=index, ranges=ranges, mode=self.mode, j=self.j)
+
+    @classmethod
+    def from_dict(cls, info: dict) -> "TilingPlan":
+        """Rebuild a tiling decision from its :meth:`to_dict` form.
+
+        The recovery journal (:mod:`repro.resilience.recovery`) records
+        the decision in its header so a resumed job executes the *same*
+        geometry that wrote the committed tiles — replanning on resume
+        could legally choose different tiles (a different live-memory
+        probe) and orphan every committed record.
+        """
+        return cls(
+            shape=tuple(int(s) for s in info["shape"]),
+            mode=int(info["mode"]),
+            j=int(info["j"]),
+            layout=Layout.parse(info["layout"]),
+            dtype=str(info["dtype"]),
+            parts=tuple(int(p) for p in info["parts"]),
+            budget=None if info.get("budget") is None else int(info["budget"]),
+            base_footprint_bytes=int(info.get("base_footprint_bytes", 0)),
+            tile_footprint_bytes=int(info.get("tile_footprint_bytes", 0)),
+            packed=bool(info.get("packed", False)),
+            reason=str(info.get("reason", "restored")),
+        )
 
     def to_dict(self) -> dict:
         """JSON-safe form (golden fixtures, the ``tile explain`` CLI)."""
@@ -386,6 +435,7 @@ def execute_tiled(
     planner: Planner | None = None,
     executor: Callable[..., DenseTensor] | None = None,
     check_finite: bool = False,
+    journal_path=None,
 ) -> DenseTensor:
     """Run a TTM tile by tile per *tiling*, bounded by its budget.
 
@@ -402,6 +452,18 @@ def execute_tiled(
     with the tiling decision, and every tile is pre-flighted — plans
     built, scratch sized, ``alloc-fail`` checkpoints visited — before
     the first write, so failures leave *out* untouched.
+
+    An *out_path* result lands **complete-or-untouched**: tiles write to
+    ``<out_path>.partial``, which is fsync'd and atomically renamed into
+    place only after every tile (journal or not) — a file at *out_path*
+    is never a torn result.  *journal_path* additionally makes the run
+    **resumable across process death** (:mod:`repro.resilience
+    .recovery`): each completed tile appends a checksummed commit record,
+    and a rerun with the same journal re-verifies committed tiles
+    against the landed bytes, skips the ones that match, and recomputes
+    the rest.  A journal for a different job (decision digest or input
+    fingerprints differ) raises
+    :class:`~repro.util.errors.RecoveryError`.
     """
     if not isinstance(x, DenseTensor):
         raise TypeError(
@@ -432,14 +494,83 @@ def execute_tiled(
 
     layout = tiling.layout
     want_flag = "C_CONTIGUOUS" if layout is Layout.ROW_MAJOR else "F_CONTIGUOUS"
+    final_path = None if out is not None or out_path is None else str(out_path)
+    journal = None
+    committed: dict[int, dict] = {}
+    if journal_path is not None:
+        header = {
+            "kind": "ttm-tiled",
+            "digest": digest_payload(tiling.to_dict()),
+            "decision": tiling.to_dict(),
+            "inputs": {"x": fingerprint_tensor(x),
+                       "u": fingerprint_array(u)},
+            "out_path": final_path,
+            "x_path": memmap_path(x),
+        }
+        u_sidecar = None
+        if header["x_path"] is not None and final_path is not None:
+            # Both operands reloadable from disk: record a U sidecar so
+            # `python -m repro recover resume` can finish the job from
+            # the manifest alone, with no caller process.
+            u_sidecar = f"{journal_path}.u.npy"
+            header["u_path"] = u_sidecar
+        journal, records = open_or_resume(journal_path, header)
+        committed = committed_units(records, "tile")
+        if u_sidecar is not None and not os.path.exists(u_sidecar):
+            atomic_save_array(u_sidecar, u)
+        if is_done(records) and final_path is not None \
+                and os.path.exists(final_path):
+            journal.close()
+            return open_memmap_tensor(final_path, "r+")
+    try:
+        out = _execute_tiled_body(
+            x, u, tiling, out, final_path, planner, executor,
+            np_dtype, layout, want_flag, journal, committed,
+        )
+        if check_finite:
+            from repro.util.validation import check_finite_result
+
+            check_finite_result(out.data, kernel="tiled", context="ttm")
+    except BaseException:
+        # Leave the journal flushed-but-unfinished: the run is resumable
+        # from exactly the committed tiles.
+        if journal is not None:
+            journal.close()
+        raise
+    if journal is not None:
+        journal.close({"type": "done", "tiles": tiling.n_tiles})
+    if final_path is not None:
+        publish_file(partial_path(final_path), final_path)
+    return out
+
+
+def _execute_tiled_body(
+    x, u, tiling, out, final_path, planner, executor,
+    np_dtype, layout, want_flag, journal, committed,
+) -> DenseTensor:
     with pinned_budget(tiling.budget) as budget:
         if out is None:
             out_bytes = np_dtype.itemsize * math.prod(tiling.out_shape)
-            if out_path is not None:
-                out = open_memmap_tensor(
-                    out_path, "w+", shape=tiling.out_shape,
-                    dtype=tiling.dtype, layout=layout,
-                )
+            if final_path is not None:
+                part = partial_path(final_path)
+                if committed and os.path.exists(part):
+                    # A resumed run reopens the partial in place so the
+                    # committed tiles it holds can be verified and kept.
+                    try:
+                        candidate = open_memmap_tensor(part, "r+")
+                    except Exception:
+                        candidate = None
+                    if (candidate is not None
+                            and candidate.shape == tiling.out_shape
+                            and candidate.layout is layout
+                            and candidate.data.dtype == np_dtype):
+                        out = candidate
+                if out is None:
+                    committed.clear()  # stale/missing partial: keep nothing
+                    out = open_memmap_tensor(
+                        part, "w+", shape=tiling.out_shape,
+                        dtype=tiling.dtype, layout=layout,
+                    )
             elif budget is not None and out_bytes > budget:
                 raise ResourceError(
                     f"tiled TTM output needs {out_bytes} bytes in RAM but "
@@ -485,10 +616,48 @@ def execute_tiled(
                     bytes=scratch,
                 )
 
+        tracer = active_tracer()
+        skip: set[int] = set()
+        if committed:
+            # Never trust a commit record: re-checksum what actually
+            # landed, skip matches, recompute the rest (torn pages from
+            # the crash, bit rot, a truncated partial).
+            vspan = (
+                tracer.span(
+                    "recover-resume", kind="ttm-tiled",
+                    committed=len(committed), tiles=len(specs),
+                )
+                if tracer.enabled
+                else None
+            )
+            try:
+                if vspan is not None:
+                    vspan.__enter__()
+                reverified = 0
+                for spec in specs:
+                    record = committed.get(spec.index)
+                    if record is None:
+                        continue
+                    reverified += 1
+                    crc = region_checksum(out.data[spec.out_slices])
+                    if crc == record.get("crc"):
+                        skip.add(spec.index)
+                if vspan is not None:
+                    vspan.set(verified=len(skip),
+                              recomputed=reverified - len(skip))
+            finally:
+                if vspan is not None:
+                    vspan.__exit__(None, None, None)
+            counters = active_hot_counters()
+            if counters is not None:
+                counters.count_recovery(resumed=len(skip),
+                                        reverified=reverified)
+
         pool = ScratchPool()
         pack_bytes = 0
-        tracer = active_tracer()
         for spec in specs:
+            if spec.index in skip:
+                continue
             tile_plan = tile_plans[spec.tile_shape]
             x_sub = x.data[spec.in_slices]
             y_sub = out.data[spec.out_slices]
@@ -511,6 +680,7 @@ def execute_tiled(
                     x_tile = DenseTensor._wrap(x_sub, layout)
                     y_tile = DenseTensor._wrap(y_sub, layout)
                     executor(tile_plan, x_tile, u, y_tile)
+                    landed = y_sub
                 else:
                     before = pool.nbytes
                     x_tile = pool.request(
@@ -531,19 +701,27 @@ def execute_tiled(
                     np.copyto(x_tile.data, x_sub)
                     executor(tile_plan, x_tile, u, y_tile)
                     np.copyto(y_sub, y_tile.data)
+                    landed = y_tile.data
                     pack_bytes += x_tile.nbytes + y_tile.nbytes
+                if journal is not None:
+                    crc = region_checksum(landed)
+                    if faults is not None:
+                        # Output bytes written, commit record not yet
+                        # journaled: the widest crash window a resumed
+                        # run must recompute across.
+                        faults.check("crash", site="tile-commit",
+                                     tile=spec.index)
+                    journal.append(
+                        {"type": "tile", "index": spec.index, "crc": crc}
+                    )
             finally:
                 if span is not None:
                     span.__exit__(None, None, None)
 
         counters = active_hot_counters()
         if counters is not None:
-            counters.count_tiled(len(specs), pack_bytes)
+            counters.count_tiled(len(specs) - len(skip), pack_bytes)
         out.flush()
-    if check_finite:
-        from repro.util.validation import check_finite_result
-
-        check_finite_result(out.data, kernel="tiled", context="ttm")
     return out
 
 
@@ -557,6 +735,7 @@ def ttm_tiled(
     planner: Planner | None = None,
     executor: Callable[..., DenseTensor] | None = None,
     check_finite: bool = False,
+    journal_path=None,
 ) -> DenseTensor:
     """One-call tiled TTM: plan the tiles, then execute them.
 
@@ -566,22 +745,44 @@ def ttm_tiled(
     lands on disk without the working set ever exceeding the budget.
     Fits-in-budget inputs degenerate to a single full-tensor "tile" —
     the exact un-tiled execution, no overhead beyond the probe.
+
+    With *journal_path* the run is crash-resumable (see
+    :func:`execute_tiled`).  On resume the tiling decision is **adopted
+    from the journal**, not replanned: the default budget is a live
+    memory probe that legally varies run to run, and a different
+    geometry would orphan every committed tile.
     """
     if not isinstance(x, DenseTensor):
         x = DenseTensor(np.asarray(x))
     u = _match_stream_dtype(u, x.data.dtype)
     if planner is None:
         planner = _default_planner
-    base_plan = planner(
-        x.shape, mode, int(np.asarray(u).shape[0]), x.layout,
-        dtype=x.data.dtype.name,
-    )
-    tiling = TilingPlanner(planner).plan(
-        base_plan, budget=budget, out_preallocated=out is not None
-    )
+    tiling = None
+    if journal_path is not None and os.path.exists(str(journal_path)):
+        try:
+            header, _ = Journal.read(journal_path)
+        except RecoveryError:
+            header = None  # garbage journal; plan fresh, executor rewrites
+        if header is not None and header.get("kind") == "ttm-tiled":
+            candidate = TilingPlan.from_dict(header["decision"])
+            if (candidate.shape == x.shape
+                    and candidate.mode == int(mode)
+                    and candidate.j == int(u.shape[0])
+                    and candidate.layout is x.layout
+                    and candidate.dtype == x.data.dtype.name):
+                tiling = candidate
+    if tiling is None:
+        base_plan = planner(
+            x.shape, mode, int(np.asarray(u).shape[0]), x.layout,
+            dtype=x.data.dtype.name,
+        )
+        tiling = TilingPlanner(planner).plan(
+            base_plan, budget=budget, out_preallocated=out is not None
+        )
     return execute_tiled(
         x, u, tiling, out=out, out_path=out_path, planner=planner,
         executor=executor, check_finite=check_finite,
+        journal_path=journal_path,
     )
 
 
@@ -645,6 +846,7 @@ def ttm_stream(
     axis: int = 0,
     layout: Layout | str = Layout.ROW_MAJOR,
     planner: Planner | None = None,
+    journal_path=None,
 ) -> Iterator[StreamChunk]:
     """TTM over tensor slices produced incrementally along *axis*.
 
@@ -669,6 +871,19 @@ def ttm_stream(
 
     The generator is lazy: nothing is consumed until iterated.  For the
     assembled tensor in one call use :func:`ttm_stream_collect`.
+
+    *journal_path* gives the stream a **resumable cursor**
+    (:mod:`repro.resilience.recovery`): each chunk appends a commit
+    record once it is safely the consumer's — after the consumer pulls
+    the *next* item (``axis != mode``), or after the accumulator sidecar
+    ``<journal_path>.accum.npy`` is durably published (``axis ==
+    mode``).  Re-invoking with the same journal and an equivalent stream
+    skips the committed prefix: already-consumed chunks are *not*
+    re-yielded, and accumulation restarts from the verified sidecar (or
+    from scratch when the sidecar fails its checksum).  Skipped chunks
+    are still validated against the journal's recorded extents —
+    a diverging stream raises :class:`~repro.util.errors.RecoveryError`
+    rather than splicing two different streams.
     """
     layout = Layout.parse(layout)
     if planner is None:
@@ -678,85 +893,168 @@ def ttm_stream(
         raise ShapeError(f"U must be 2-D (J x I_n), got {u.ndim}-D")
     j = int(u.shape[0])
     counters = active_hot_counters()
+    faults = active_faults()
 
     lo = 0
     accum: DenseTensor | None = None
     rest_shape: tuple[int, ...] | None = None
     saw_chunk = False
-    for chunk in slices:
-        if isinstance(chunk, DenseTensor):
-            x_chunk = chunk
-        else:
-            x_chunk = DenseTensor(np.asarray(chunk), layout)
-        if not 0 <= axis < x_chunk.order:
-            raise ShapeError(
-                f"stream axis {axis} out of range for order-{x_chunk.order} "
-                "chunks"
+    journal = None
+    committed: dict[int, dict] = {}
+    accum_path = None
+    resume_upto = 0
+    if journal_path is not None:
+        decision = {"mode": int(mode), "axis": int(axis), "j": j,
+                    "layout": layout.name}
+        header = {
+            "kind": "ttm-stream",
+            "digest": digest_payload(decision),
+            "decision": decision,
+            "inputs": {"u": fingerprint_array(u)},
+        }
+        if axis == mode:
+            accum_path = f"{journal_path}.accum.npy"
+            header["state_path"] = accum_path
+        journal, records = open_or_resume(journal_path, header)
+        committed = committed_units(records, "chunk", key="chunk")
+        while resume_upto in committed:  # contiguous committed prefix
+            resume_upto += 1
+        if axis == mode and resume_upto:
+            # The cursor is only as good as the accumulator it points
+            # into: verify the sidecar against its last commit record,
+            # else restart the accumulation from chunk 0.
+            if (os.path.exists(accum_path)
+                    and file_checksum(accum_path)
+                    == committed[resume_upto - 1].get("crc")):
+                accum = DenseTensor(np.load(accum_path), layout)
+            else:
+                resume_upto = 0
+        if resume_upto and counters is not None:
+            counters.count_recovery(
+                resumed=resume_upto,
+                reverified=1 if axis == mode else 0,
             )
-        if not 0 <= mode < x_chunk.order:
-            raise ShapeError(
-                f"mode {mode} out of range for order-{x_chunk.order} chunks"
-            )
-        other = tuple(
-            e for a, e in enumerate(x_chunk.shape) if a != axis
-        )
-        if rest_shape is None:
-            rest_shape = other
-        elif other != rest_shape:
-            raise ShapeError(
-                f"stream chunk has non-axis extents {other}, previous "
-                f"chunks had {rest_shape}"
-            )
-        saw_chunk = True
-        u_arr = _match_stream_dtype(u, x_chunk.data.dtype)
-        hi = lo + x_chunk.shape[axis]
-        if counters is not None:
-            counters.count_stream_chunk()
-        if axis != mode:
-            if u_arr.shape[1] != x_chunk.shape[mode]:
+    n_chunks = 0
+    try:
+        for i, chunk in enumerate(slices):
+            if isinstance(chunk, DenseTensor):
+                x_chunk = chunk
+            else:
+                x_chunk = DenseTensor(np.asarray(chunk), layout)
+            if not 0 <= axis < x_chunk.order:
                 raise ShapeError(
-                    f"U shape {u_arr.shape} != (J={j}, "
-                    f"I_n={x_chunk.shape[mode]})"
+                    f"stream axis {axis} out of range for "
+                    f"order-{x_chunk.order} chunks"
                 )
-            plan = planner(
-                x_chunk.shape, mode, j, x_chunk.layout,
-                dtype=x_chunk.data.dtype.name,
-            )
-            y = ttm_inplace(x_chunk, u_arr, plan=plan)
-            yield StreamChunk(lo, hi, y)
-        else:
-            if hi > u_arr.shape[1]:
+            if not 0 <= mode < x_chunk.order:
                 raise ShapeError(
-                    f"stream chunks cover {hi} contracted indices, U has "
-                    f"only I_n={u_arr.shape[1]} columns"
+                    f"mode {mode} out of range for order-{x_chunk.order} "
+                    "chunks"
                 )
-            if accum is None:
-                out_shape = (
-                    x_chunk.shape[:mode] + (j,) + x_chunk.shape[mode + 1 :]
+            other = tuple(
+                e for a, e in enumerate(x_chunk.shape) if a != axis
+            )
+            if rest_shape is None:
+                rest_shape = other
+            elif other != rest_shape:
+                raise ShapeError(
+                    f"stream chunk has non-axis extents {other}, previous "
+                    f"chunks had {rest_shape}"
                 )
-                accum = DenseTensor.zeros(
-                    out_shape, x_chunk.layout, dtype=x_chunk.data.dtype
+            saw_chunk = True
+            u_arr = _match_stream_dtype(u, x_chunk.data.dtype)
+            hi = lo + x_chunk.shape[axis]
+            n_chunks = i + 1
+            if i < resume_upto:
+                record = committed[i]
+                if record.get("lo") != lo or record.get("hi") != hi:
+                    raise RecoveryError(
+                        f"journal {journal_path} committed chunk {i} as "
+                        f"rows [{record.get('lo')}, {record.get('hi')}), "
+                        f"this stream produced [{lo}, {hi}); the streams "
+                        "differ — delete the journal to start over"
+                    )
+                lo = hi
+                continue
+            if counters is not None:
+                counters.count_stream_chunk()
+            if axis != mode:
+                if u_arr.shape[1] != x_chunk.shape[mode]:
+                    raise ShapeError(
+                        f"U shape {u_arr.shape} != (J={j}, "
+                        f"I_n={x_chunk.shape[mode]})"
+                    )
+                plan = planner(
+                    x_chunk.shape, mode, j, x_chunk.layout,
+                    dtype=x_chunk.data.dtype.name,
                 )
-            # U's column block for this chunk's contracted indices — a
-            # strided view, which every kernel tier accepts.
-            plan = planner(
-                x_chunk.shape, mode, j, x_chunk.layout,
-                dtype=x_chunk.data.dtype.name,
-            )
-            ttm_inplace(
-                x_chunk, u_arr[:, lo:hi], plan=plan, out=accum,
-                accumulate=True,
-            )
-        lo = hi
-    if not saw_chunk:
-        raise ShapeError("ttm_stream received an empty stream of slices")
-    if axis == mode:
-        if lo != u.shape[1]:
-            raise ShapeError(
-                f"stream covered {lo} contracted indices of I_n={u.shape[1]}; "
-                "partial result withheld (it would be silently wrong)"
-            )
-        yield StreamChunk(0, int(u.shape[0]), accum)
+                y = ttm_inplace(x_chunk, u_arr, plan=plan)
+                yield StreamChunk(lo, hi, y)
+                if journal is not None:
+                    # Reaching here means the consumer pulled the next
+                    # item: the chunk is durably theirs, commit it.
+                    crc = region_checksum(y.data)
+                    if faults is not None:
+                        faults.check("crash", site="chunk-commit", chunk=i)
+                    journal.append(
+                        {"type": "chunk", "chunk": i, "lo": lo, "hi": hi,
+                         "crc": crc}
+                    )
+            else:
+                if hi > u_arr.shape[1]:
+                    raise ShapeError(
+                        f"stream chunks cover {hi} contracted indices, U "
+                        f"has only I_n={u_arr.shape[1]} columns"
+                    )
+                if accum is None:
+                    out_shape = (
+                        x_chunk.shape[:mode] + (j,)
+                        + x_chunk.shape[mode + 1 :]
+                    )
+                    accum = DenseTensor.zeros(
+                        out_shape, x_chunk.layout, dtype=x_chunk.data.dtype
+                    )
+                # U's column block for this chunk's contracted indices —
+                # a strided view, which every kernel tier accepts.
+                plan = planner(
+                    x_chunk.shape, mode, j, x_chunk.layout,
+                    dtype=x_chunk.data.dtype.name,
+                )
+                ttm_inplace(
+                    x_chunk, u_arr[:, lo:hi], plan=plan, out=accum,
+                    accumulate=True,
+                )
+                if journal is not None:
+                    # Crash-check *before* the sidecar publish: a kill
+                    # here loses exactly this chunk, so resume lands on
+                    # cursor i instead of restarting the accumulation.
+                    if faults is not None:
+                        faults.check("crash", site="chunk-commit", chunk=i)
+                    crc = atomic_save_array(accum_path, accum.data)
+                    journal.append(
+                        {"type": "chunk", "chunk": i, "lo": lo, "hi": hi,
+                         "crc": crc}
+                    )
+            lo = hi
+        if not saw_chunk:
+            raise ShapeError("ttm_stream received an empty stream of slices")
+        if axis == mode:
+            if lo != u.shape[1]:
+                raise ShapeError(
+                    f"stream covered {lo} contracted indices of "
+                    f"I_n={u.shape[1]}; partial result withheld (it would "
+                    "be silently wrong)"
+                )
+            if journal is not None:
+                journal.close({"type": "done", "chunks": n_chunks})
+            yield StreamChunk(0, int(u.shape[0]), accum)
+        elif journal is not None:
+            journal.close({"type": "done", "chunks": n_chunks})
+    finally:
+        # An abandoned or failed stream leaves the journal flushed but
+        # unfinished — resumable; close() after close(done) is a no-op.
+        if journal is not None:
+            journal.close()
 
 
 def ttm_stream_collect(

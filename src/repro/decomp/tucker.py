@@ -21,11 +21,16 @@ baseline backends want.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs.tracer import active_tracer
+from repro.perf.profiler import active_hot_counters
+from repro.resilience import recovery
+from repro.resilience.faults import active_faults
 from repro.tensor.dense import DenseTensor
 from repro.tensor.unfold import unfold
 from repro.util.errors import ShapeError
@@ -176,6 +181,32 @@ def hosvd(
                         fit_history=[fit], iterations=0)
 
 
+def _hooi_converged(history: Sequence[float], tolerance: float) -> bool:
+    """Whether the last sweep improved the fit by less than *tolerance*.
+
+    A pure function of the fit history so a resumed run replays the
+    exact stopping decision an uninterrupted run would have made.
+    """
+    return len(history) >= 2 and history[-1] - history[-2] < tolerance
+
+
+def _save_hooi_state(state_path: str, factors, core: DenseTensor,
+                     history: Sequence[float]) -> int:
+    """Durably publish one sweep's full state; returns the file's CRC."""
+    part = recovery.partial_path(state_path)
+    payload = {
+        f"factor_{m}": np.ascontiguousarray(f)
+        for m, f in enumerate(factors)
+    }
+    payload["core"] = np.ascontiguousarray(core.data)
+    payload["fit_history"] = np.asarray(history, dtype=np.float64)
+    with open(part, "wb") as fh:
+        np.savez(fh, **payload)
+    crc = recovery.file_checksum(part)
+    recovery.publish_file(part, state_path)
+    return crc
+
+
 def hooi(
     x: DenseTensor,
     ranks: Sequence[int] | int,
@@ -184,6 +215,7 @@ def hooi(
     tolerance: float = 1e-8,
     init: TuckerResult | None = None,
     svd_method: str = "auto",
+    checkpoint_path=None,
 ) -> TuckerResult:
     """Higher-order orthogonal iteration (TUCKER-HOOI, §2).
 
@@ -191,37 +223,115 @@ def hooi(
     *other* factors — ``N * (N-1)`` mode-n products per sweep, exactly the
     TTM chain the paper's motivation describes.  Stops when the fit
     improves by less than *tolerance* or after *max_iterations* sweeps.
+
+    *checkpoint_path* makes the iteration crash-resumable
+    (:mod:`repro.resilience.recovery`): after every sweep the full state
+    (factors, core, fit history) is durably published to
+    ``<checkpoint_path>.state.npz`` and a checksummed sweep record
+    appended to the journal.  A rerun with the same journal verifies the
+    sidecar against its last commit, reloads it, and continues from the
+    next sweep — bit-identically, since sweeps are deterministic and the
+    stopping rule is a pure function of the replayed history.  A
+    checkpoint for a different job (ranks, tolerance, tensor) raises
+    :class:`~repro.util.errors.RecoveryError`.
     """
     backend = ttm_backend or _default_backend()
     ranks_t = _check_ranks(x.shape, ranks)
     if max_iterations < 1:
         raise ShapeError(f"max_iterations must be >= 1, got {max_iterations}")
-    state = init or hosvd(x, ranks_t, ttm_backend=backend,
-                          svd_method=svd_method)
-    factors = [f.copy() for f in state.factors]
+    journal = None
+    state_path = None
+    factors = None
+    core = None
     history: list[float] = []
-    previous_fit = -np.inf
-    core = state.core
-    iterations = 0
-    for sweep in range(max_iterations):
-        iterations = sweep + 1
-        for mode, rank in enumerate(ranks_t):
-            y = _project_all_but(x, factors, skip=mode, backend=backend)
-            factors[mode] = _leading_left_singular_vectors(
-                unfold(y, mode), rank, method=svd_method
-            )
-        core = _project_all_but(x, factors, skip=None, backend=backend)
-        fit = tucker_fit(x, core, factors)
-        history.append(fit)
-        if fit - previous_fit < tolerance:
-            break
-        previous_fit = fit
+    if checkpoint_path is not None:
+        state_path = f"{checkpoint_path}.state.npz"
+        decision = {
+            "ranks": list(ranks_t),
+            "max_iterations": int(max_iterations),
+            "tolerance": float(tolerance),
+            "svd_method": str(svd_method),
+            "shape": list(x.shape),
+            "dtype": x.data.dtype.name,
+        }
+        header = {
+            "kind": "hooi",
+            "digest": recovery.digest_payload(decision),
+            "decision": decision,
+            "inputs": {"x": recovery.fingerprint_tensor(x)},
+            "state_path": state_path,
+            "x_path": recovery.memmap_path(x),
+            "ranks": list(ranks_t),
+            "max_iterations": int(max_iterations),
+            "tolerance": float(tolerance),
+            "svd_method": str(svd_method),
+        }
+        journal, records = recovery.open_or_resume(checkpoint_path, header)
+        committed = recovery.committed_units(records, "sweep", key="sweep")
+        if committed and os.path.exists(state_path):
+            last = max(committed)
+            # The sidecar is trusted only if it matches its last commit
+            # record byte-for-byte; anything else restarts from scratch.
+            if (recovery.file_checksum(state_path)
+                    == committed[last].get("crc")):
+                with np.load(state_path) as state:
+                    factors = [
+                        np.ascontiguousarray(state[f"factor_{m}"])
+                        for m in range(len(ranks_t))
+                    ]
+                    core = DenseTensor(
+                        np.ascontiguousarray(state["core"]), x.layout
+                    )
+                    history = [float(f) for f in state["fit_history"]]
+                counters = active_hot_counters()
+                if counters is not None:
+                    counters.count_recovery(resumed=len(history),
+                                            reverified=1)
+                tracer = active_tracer()
+                if tracer.enabled:
+                    with tracer.span("recover-resume", kind="hooi",
+                                     sweeps=len(history),
+                                     fit=history[-1] if history else None):
+                        pass
+    try:
+        if factors is None:
+            history = []
+            state = init or hosvd(x, ranks_t, ttm_backend=backend,
+                                  svd_method=svd_method)
+            factors = [f.copy() for f in state.factors]
+            core = state.core
+        for sweep in range(len(history), max_iterations):
+            if _hooi_converged(history, tolerance):
+                break
+            for mode, rank in enumerate(ranks_t):
+                y = _project_all_but(x, factors, skip=mode, backend=backend)
+                factors[mode] = _leading_left_singular_vectors(
+                    unfold(y, mode), rank, method=svd_method
+                )
+            core = _project_all_but(x, factors, skip=None, backend=backend)
+            fit = tucker_fit(x, core, factors)
+            history.append(fit)
+            if journal is not None:
+                faults = active_faults()
+                if faults is not None:
+                    # Sweep computed, nothing checkpointed: the crash
+                    # window that must cost exactly one recomputed sweep.
+                    faults.check("crash", site="sweep-end", sweep=sweep)
+                crc = _save_hooi_state(state_path, factors, core, history)
+                journal.append({"type": "sweep", "sweep": sweep,
+                                "fit": fit, "crc": crc})
+    except BaseException:
+        if journal is not None:
+            journal.close()
+        raise
+    if journal is not None:
+        journal.close({"type": "done", "sweeps": len(history)})
     return TuckerResult(
         core=core,
         factors=factors,
         fit=history[-1],
         fit_history=history,
-        iterations=iterations,
+        iterations=len(history),
     )
 
 

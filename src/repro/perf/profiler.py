@@ -153,6 +153,10 @@ class HotCounters:
     stream_chunks: int = 0
     dse_measurements: int = 0
     calibration_refits: int = 0
+    tiles_resumed: int = 0
+    tiles_reverified: int = 0
+    journal_commits: int = 0
+    store_fsyncs: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -243,6 +247,28 @@ class HotCounters:
         with self._lock:
             self.stream_chunks += n
 
+    def count_recovery(self, resumed: int = 0, reverified: int = 0) -> None:
+        """Report a resume pass: units re-checksummed, units skipped.
+
+        ``tiles_reverified`` counts committed units whose landed bytes
+        were re-checksummed on resume; ``tiles_resumed`` the subset that
+        verified clean and were skipped — the work a crash did *not*
+        throw away.  The difference is recomputed (torn/corrupt) units.
+        """
+        with self._lock:
+            self.tiles_resumed += resumed
+            self.tiles_reverified += reverified
+
+    def count_journal_commit(self, n: int = 1) -> None:
+        """Report commit records appended to a recovery journal."""
+        with self._lock:
+            self.journal_commits += n
+
+    def count_store_fsync(self, n: int = 1) -> None:
+        """Report durable (fsync'd) plan-store publishes."""
+        with self._lock:
+            self.store_fsyncs += n
+
     def count_dse(self, measurements: int = 1) -> None:
         """Report design-space-exploration timings taken on the live host."""
         with self._lock:
@@ -285,6 +311,10 @@ class HotCounters:
                 "stream_chunks": self.stream_chunks,
                 "dse_measurements": self.dse_measurements,
                 "calibration_refits": self.calibration_refits,
+                "tiles_resumed": self.tiles_resumed,
+                "tiles_reverified": self.tiles_reverified,
+                "journal_commits": self.journal_commits,
+                "store_fsyncs": self.store_fsyncs,
                 "dispatches": self.gemm_calls + self.batched_calls,
                 "total_slices": self.gemm_calls + self.batched_slices,
             }

@@ -18,6 +18,10 @@ Pieces:
 * :mod:`repro.resilience.faults` — the deterministic fault-injection
   harness (:class:`FaultInjector`) that lets tests *prove* each
   degradation path instead of trusting it;
+* :mod:`repro.resilience.recovery` — journaled checkpoint/restart for
+  out-of-core jobs (checksummed commit records, complete-or-untouched
+  output landing, resume/verify), surviving what the in-process layer
+  cannot: the death of the process itself;
 * the supervised ``parfor`` (watchdog deadline, pool replacement,
   serial degradation) lives with the pools in
   :mod:`repro.parallel.parfor`.
@@ -47,24 +51,54 @@ from repro.resilience.memory import (
     pinned_budget,
     plan_footprint_bytes,
 )
+from repro.resilience.recovery import (
+    JOURNAL_SCHEMA,
+    Journal,
+    VerifyReport,
+    atomic_save_array,
+    describe_journal,
+    file_checksum,
+    fingerprint_array,
+    fingerprint_tensor,
+    open_or_resume,
+    partial_path,
+    publish_file,
+    region_checksum,
+    resume_job,
+    verify_journal,
+)
 
 __all__ = [
     "FALLBACK_CHAIN",
     "INJECTION_POINTS",
+    "JOURNAL_SCHEMA",
     "MEM_LIMIT_ENV",
     "FaultInjector",
     "FaultRule",
     "InjectedFault",
+    "Journal",
     "KernelChain",
+    "VerifyReport",
     "active_faults",
+    "atomic_save_array",
     "available_bytes",
     "build_batched_tiers",
     "build_gemm_tiers",
+    "describe_journal",
     "fallback_tiers",
     "fault_injection",
+    "file_checksum",
+    "fingerprint_array",
+    "fingerprint_tensor",
     "guard_memory",
+    "open_or_resume",
+    "partial_path",
     "pinned_budget",
     "plan_footprint_bytes",
+    "publish_file",
     "recoverable",
     "record_degradation",
+    "region_checksum",
+    "resume_job",
+    "verify_journal",
 ]

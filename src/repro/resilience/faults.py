@@ -31,6 +31,18 @@ Named injection points (the wiring sites ship with the library):
     allocation with ``site="tile-scratch", tile=<i>, bytes=<n>`` so a
     matched rule can kill allocation *k* mid-run without zeroing the
     global budget probe (which passes no context).
+``crash``
+    Process death, for the checkpoint/restart layer
+    (:mod:`repro.resilience.recovery`).  Checked at
+    ``site="tile-commit"`` (tiled executor, output written but not yet
+    journaled), ``site="journal-append"`` (inside
+    :meth:`~repro.resilience.recovery.Journal.append`, before the
+    write), ``site="chunk-commit"`` (streaming TTM) and
+    ``site="sweep-end"`` (HOOI, sweep computed but not yet
+    checkpointed).  A rule armed with no *exc* delivers a real
+    ``SIGKILL`` to the process — the subprocess crash/resume suites are
+    built on this — while a rule armed with an exception raises it
+    instead, the in-process form the Hypothesis resume fuzz uses.
 
 Besides firing armed rules, instrumented allocation sites report what
 they allocate through :meth:`FaultInjector.observe`; the ``observed``
@@ -50,6 +62,8 @@ exactly reproducible.
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
 import time
 from contextlib import contextmanager
@@ -66,6 +80,7 @@ INJECTION_POINTS = (
     "slow-body",
     "store-read-error",
     "alloc-fail",
+    "crash",
 )
 
 
@@ -185,6 +200,11 @@ class FaultInjector:
             raise exc if isinstance(exc, BaseException) else exc(
                 f"injected fault at {point!r}"
             )
+        if point == "crash":
+            # A crash rule with no exception is the real thing: SIGKILL,
+            # uncatchable, no atexit, no finally — exactly what the
+            # checkpoint/restart layer must survive.
+            os.kill(os.getpid(), signal.SIGKILL)
         return True
 
     def count(self, point: str) -> int:

@@ -1,0 +1,652 @@
+"""Journaled checkpoint/restart: crash-safe out-of-core execution.
+
+The resilience layer (DESIGN.md §10) survives *in-process* faults — a
+kernel raising, a worker dying, memory pressure — but nothing in it
+survives the death of the process itself.  For the jobs the out-of-core
+layer exists for (tiled TTMs over memmap tensors, multi-sweep HOOI
+decompositions) that is the dominant failure: a ``kill -9`` at tile
+900/1000 throws away every completed tile and, worse, leaves a torn
+output file that looks like a finished result.  This module closes the
+gap with two mechanisms:
+
+**The journal** — a JSON-lines manifest beside the job.  Line 1 is a
+header carrying the schema version, the job kind, a digest of the
+execution decision (the tiling geometry, the HOOI configuration), and
+cheap content fingerprints of the inputs.  Every completed unit of work
+(tile, stream chunk, HOOI sweep) then appends one commit record carrying
+a CRC-32 content checksum of the bytes it landed.  Appends are a single
+``write`` of one line, so a crash can tear at most the final line, which
+the parser drops; fsync is grouped on a time interval
+(:data:`SYNC_INTERVAL_S`) so durability costs O(elapsed time), not
+O(commits).  A commit record is never *trusted* on resume: the landed
+bytes are re-checksummed first, and a mismatch (torn page, bit rot)
+recomputes the unit instead of silently keeping it.
+
+**Complete-or-untouched landing** — outputs written to a path go to
+``<path>.partial`` and are published with flush + fsync +
+``os.replace`` only after every unit committed, so a file at the
+requested path is always a complete, verified result, across crashes
+and power loss alike.
+
+The consumers are :func:`repro.core.tiling.execute_tiled` /
+``ttm_tiled`` (``journal_path=``), :func:`repro.core.tiling.ttm_stream`
+(resumable chunk cursors), and :func:`repro.decomp.tucker.hooi`
+(``checkpoint_path=``); ``python -m repro recover {show,resume,verify}``
+is the operator surface.  The deterministic ``crash`` fault point
+(:mod:`repro.resilience.faults`) makes process death a test input at
+sites ``tile-commit``, ``journal-append``, ``chunk-commit`` and
+``sweep-end``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.obs.tracer import active_tracer
+from repro.perf.profiler import active_hot_counters
+from repro.resilience.faults import active_faults
+from repro.util.errors import RecoveryError
+
+#: Journal file format version.  Bumped on any change to the header or
+#: record shapes; a mismatched journal refuses to resume (the safe
+#: failure: recompute from scratch under a fresh journal).
+JOURNAL_SCHEMA = 1
+
+#: Grouped-fsync interval for commit records, seconds.  A crash loses at
+#: most this much *committed-but-unsynced* work to a power cut (a plain
+#: ``kill -9`` loses nothing: the page cache survives the process), and
+#: in exchange journal durability costs O(elapsed time) instead of one
+#: fsync per tile.  The header, the final record, and every checkpoint
+#: sidecar publish are always fsync'd.
+SYNC_INTERVAL_S = 0.05
+
+#: Bytes sampled per region (head, middle, tail) by the input
+#: fingerprints.  Sampling keeps fingerprinting O(1) for memmap tensors
+#: that deliberately do not fit in RAM; the full-file checksum lives in
+#: the per-tile commit records, not here.
+FINGERPRINT_SAMPLE_BYTES = 1 << 16
+
+
+# -- checksums and fingerprints ----------------------------------------------
+
+
+def region_checksum(arr) -> int:
+    """CRC-32 over an array region's bytes (copying only if strided).
+
+    The content checksum the journal commits and resume verifies.  Any
+    single-bit flip changes a CRC-32, which is the integrity class this
+    layer defends against (torn pages, partial writes, bit rot) —
+    adversarial corruption is out of scope.
+    """
+    a = np.asarray(arr)
+    if not a.flags["C_CONTIGUOUS"]:
+        if a.flags["F_CONTIGUOUS"]:
+            a = a.T
+        else:
+            a = np.ascontiguousarray(a)
+    return zlib.crc32(a) & 0xFFFFFFFF
+
+
+def file_checksum(path) -> int:
+    """CRC-32 of a whole file, streamed in 1 MiB chunks."""
+    crc = 0
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(1 << 20)
+            if not block:
+                break
+            crc = zlib.crc32(block, crc)
+    return crc & 0xFFFFFFFF
+
+
+def fingerprint_array(arr: np.ndarray) -> dict:
+    """A cheap, stable identity for one input operand.
+
+    Geometry plus CRC-32s of sampled byte ranges (head/middle/tail).
+    Sampling is deliberate: fingerprinting a terabyte memmap must not
+    read a terabyte.  Two tensors that differ only outside the sampled
+    ranges collide here — the per-unit content checksums still catch
+    any output divergence on verify.
+    """
+    a = np.asarray(arr)
+    if a.flags["F_CONTIGUOUS"] and not a.flags["C_CONTIGUOUS"]:
+        a = a.T
+    if not a.flags["C_CONTIGUOUS"]:
+        a = np.ascontiguousarray(a)
+    flat = a.reshape(-1)
+    n = flat.size
+    step = max(1, FINGERPRINT_SAMPLE_BYTES // max(1, a.itemsize))
+    samples = []
+    for lo in (0, max(0, n // 2 - step // 2), max(0, n - step)):
+        samples.append(region_checksum(flat[lo : lo + step]))
+    return {
+        "shape": list(a.shape),
+        "dtype": a.dtype.name,
+        "nbytes": int(a.nbytes),
+        "samples": samples,
+    }
+
+
+def fingerprint_tensor(x) -> dict:
+    """:func:`fingerprint_array` plus the tensor's declared layout."""
+    info = fingerprint_array(x.data)
+    info["layout"] = x.layout.name
+    return info
+
+
+def digest_payload(payload: dict) -> str:
+    """A short stable digest of a JSON-safe decision record.
+
+    Used to pin the execution decision (tiling geometry, HOOI config)
+    in the journal header: resume refuses to continue a job under a
+    different decision than the one that wrote the committed work.
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+
+def memmap_path(x) -> str | None:
+    """The backing file of a memmap-backed tensor/array, or None."""
+    node = getattr(x, "data", x)
+    while node is not None:
+        if isinstance(node, np.memmap):
+            filename = getattr(node, "filename", None)
+            return None if filename is None else str(filename)
+        node = getattr(node, "base", None)
+    return None
+
+
+# -- durable file landing -----------------------------------------------------
+
+
+def partial_path(path) -> str:
+    """Where an output lands before it is published."""
+    return f"{path}.partial"
+
+
+def fsync_file(path) -> None:
+    """fsync an existing file by path (flushes the page cache to media)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path) -> None:
+    """fsync a directory so a rename inside it survives power loss.
+
+    Best-effort: some filesystems refuse O_RDONLY on directories; the
+    rename itself is still atomic there, only its durability window
+    widens to the next metadata flush.
+    """
+    try:
+        fd = os.open(os.path.dirname(os.path.abspath(path)) or ".",
+                     os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def publish_file(partial: str, final: str) -> None:
+    """Atomically publish a completed ``.partial`` file at its final path.
+
+    fsync the data, ``os.replace`` into place, fsync the directory: the
+    complete-or-untouched commit protocol.  After this returns, a file
+    at *final* is a complete result even across power loss.
+    """
+    fsync_file(partial)
+    os.replace(partial, final)
+    fsync_dir(final)
+
+
+def atomic_save_array(path: str, arr: np.ndarray) -> int:
+    """Write an ``.npy`` durably via the partial + publish protocol.
+
+    Returns the CRC-32 of the written file so callers can journal it.
+    """
+    part = partial_path(path)
+    with open(part, "wb") as fh:
+        np.save(fh, np.ascontiguousarray(arr))
+    crc = file_checksum(part)
+    publish_file(part, path)
+    return crc
+
+
+# -- the journal ---------------------------------------------------------------
+
+
+@dataclass
+class Journal:
+    """An append-only JSON-lines manifest for one resumable job.
+
+    One header line, then one commit record per completed unit of work,
+    then a ``done`` record.  Appends are single ``write`` calls (a crash
+    tears at most the trailing line); fsync is grouped on
+    :data:`SYNC_INTERVAL_S`.  Use :meth:`fresh` to start a job,
+    :meth:`read` to inspect one, and :func:`open_or_resume` for the
+    create-or-continue decision executors need.
+    """
+
+    path: str
+    header: dict
+    sync_interval_s: float = SYNC_INTERVAL_S
+    _fd: int | None = field(default=None, repr=False)
+    _last_sync: float = field(default=0.0, repr=False)
+
+    @classmethod
+    def fresh(cls, path, header: dict,
+              sync_interval_s: float = SYNC_INTERVAL_S) -> "Journal":
+        """Create (truncating any previous journal) and fsync the header."""
+        header = dict(header)
+        header["type"] = "header"
+        header["schema"] = JOURNAL_SCHEMA
+        journal = cls(str(path), header, sync_interval_s)
+        journal._fd = os.open(
+            str(path), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644
+        )
+        os.write(journal._fd, cls._encode(header))
+        os.fsync(journal._fd)
+        fsync_dir(str(path))
+        journal._last_sync = time.monotonic()
+        return journal
+
+    @classmethod
+    def read(cls, path) -> tuple[dict, list[dict]]:
+        """Parse a journal: (header, records), dropping a torn last line.
+
+        Raises :class:`RecoveryError` for a journal with no parseable
+        header — an unusable file, distinct from a merely torn tail.
+        """
+        header: dict | None = None
+        records: list[dict] = []
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        for i, line in enumerate(raw.splitlines()):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if header is None:
+                    raise RecoveryError(
+                        f"journal {path} has no parseable header; delete it "
+                        "to restart the job from scratch"
+                    ) from None
+                # A torn trailing line is the expected crash artifact;
+                # a torn line in the *middle* would desynchronize the
+                # manifest, so everything after it is dropped too.
+                break
+            if i == 0 or header is None:
+                if record.get("type") != "header":
+                    raise RecoveryError(
+                        f"journal {path} does not start with a header record"
+                    )
+                header = record
+            else:
+                records.append(record)
+        if header is None:
+            raise RecoveryError(f"journal {path} is empty")
+        return header, records
+
+    @classmethod
+    def resume(cls, path, sync_interval_s: float = SYNC_INTERVAL_S,
+               ) -> tuple["Journal", list[dict]]:
+        """Reopen an existing journal for appending; returns its records."""
+        header, records = cls.read(path)
+        journal = cls(str(path), header, sync_interval_s)
+        journal._fd = os.open(str(path), os.O_WRONLY | os.O_APPEND, 0o644)
+        journal._last_sync = time.monotonic()
+        return journal, records
+
+    @staticmethod
+    def _encode(record: dict) -> bytes:
+        return (json.dumps(record, sort_keys=True,
+                           separators=(",", ":")) + "\n").encode()
+
+    def append(self, record: dict, sync: bool = False) -> None:
+        """Append one commit record (a single write; grouped fsync).
+
+        The deterministic ``crash`` fault point fires here with
+        ``site="journal-append"`` *before* the write, so an injected
+        kill loses exactly this record and nothing earlier.
+        """
+        if self._fd is None:
+            raise RecoveryError(f"journal {self.path} is closed")
+        faults = active_faults()
+        if faults is not None:
+            faults.check("crash", site="journal-append",
+                         record=record.get("type"))
+        os.write(self._fd, self._encode(record))
+        counters = active_hot_counters()
+        if counters is not None:
+            counters.count_journal_commit()
+        now = time.monotonic()
+        if sync or now - self._last_sync >= self.sync_interval_s:
+            os.fsync(self._fd)
+            self._last_sync = now
+
+    def close(self, final: dict | None = None) -> None:
+        """Append an optional final record, fsync, and release the fd."""
+        if self._fd is None:
+            return
+        try:
+            if final is not None:
+                self.append(final, sync=True)
+            else:
+                os.fsync(self._fd)
+        finally:
+            os.close(self._fd)
+            self._fd = None
+
+
+def open_or_resume(
+    path,
+    header: dict,
+    sync_interval_s: float = SYNC_INTERVAL_S,
+) -> tuple[Journal, list[dict]]:
+    """A journal for *header*'s job: resumed when one exists, else fresh.
+
+    An existing journal resumes only when its kind, schema, decision
+    digest, and input fingerprints all match *header* — anything else
+    raises :class:`RecoveryError` rather than silently splicing two
+    different jobs' work together.  A journal whose header cannot be
+    parsed at all is treated as garbage and overwritten.
+    """
+    path = str(path)
+    if not os.path.exists(path):
+        return Journal.fresh(path, header, sync_interval_s), []
+    try:
+        existing, records = Journal.read(path)
+    except RecoveryError:
+        return Journal.fresh(path, header, sync_interval_s), []
+    if existing.get("schema") != JOURNAL_SCHEMA:
+        raise RecoveryError(
+            f"journal {path} was written under schema "
+            f"{existing.get('schema')!r}; this build writes "
+            f"{JOURNAL_SCHEMA}.  Delete it to restart from scratch."
+        )
+    for key in ("kind", "digest", "inputs"):
+        if existing.get(key) != header.get(key):
+            raise RecoveryError(
+                f"journal {path} is for a different job ({key} mismatch: "
+                f"journal {existing.get(key)!r} vs current "
+                f"{header.get(key)!r}); delete it to restart, or point "
+                "journal_path somewhere else"
+            )
+    journal, _ = Journal.resume(path, sync_interval_s)
+    return journal, records
+
+
+def committed_units(records: Sequence[dict], rtype: str,
+                    key: str = "index") -> dict[int, dict]:
+    """The last committed record per unit index for one record type."""
+    out: dict[int, dict] = {}
+    for record in records:
+        if record.get("type") == rtype and key in record:
+            out[int(record[key])] = record
+    return out
+
+
+def is_done(records: Sequence[dict]) -> bool:
+    return any(record.get("type") == "done" for record in records)
+
+
+# -- verification --------------------------------------------------------------
+
+
+@dataclass
+class VerifyReport:
+    """What re-checksumming a landed result against its journal found."""
+
+    journal_path: str
+    kind: str
+    target: str | None
+    total: int
+    verified: int
+    mismatched: list[int]
+    missing: bool = False
+    done: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing and not self.mismatched and self.verified > 0
+
+    def describe(self) -> str:
+        if self.missing:
+            return (f"FAIL  {self.kind}: output {self.target} missing "
+                    f"(journal {self.journal_path})")
+        status = "ok" if self.ok else "FAIL"
+        extra = "" if not self.mismatched else (
+            f", CORRUPT units {self.mismatched}"
+        )
+        done = "complete" if self.done else "in progress"
+        return (
+            f"{status}    {self.kind} ({done}): {self.verified}/{self.total} "
+            f"unit checksums match on {self.target}{extra}"
+        )
+
+
+def _tiling_from_header(header: dict):
+    from repro.core.tiling import TilingPlan
+
+    return TilingPlan.from_dict(header["decision"])
+
+
+def verify_journal(journal_path, out_path=None) -> VerifyReport:
+    """Re-checksum a journal's landed data; the ``recover verify`` core.
+
+    For a tiled TTM every committed tile's output region is re-read and
+    CRC-checked against its commit record (a published result is
+    preferred over a lingering ``.partial``); for HOOI and streaming
+    accumulation the checkpoint sidecar file is checked against the last
+    committed record.  A single flipped byte anywhere a record covers
+    flips its CRC-32 and lands in ``mismatched``.
+    """
+    header, records = Journal.read(journal_path)
+    kind = header.get("kind", "?")
+    done = is_done(records)
+    tracer = active_tracer()
+    if not tracer.enabled:
+        return _verify_impl(journal_path, header, records, kind, done,
+                            out_path)
+    with tracer.span("recover-verify", journal=str(journal_path),
+                     kind=kind) as span:
+        report = _verify_impl(journal_path, header, records, kind, done,
+                              out_path)
+        span.set(total=report.total, verified=report.verified,
+                 mismatched=len(report.mismatched), ok=report.ok)
+    return report
+
+
+def _verify_impl(journal_path, header, records, kind, done,
+                 out_path) -> VerifyReport:
+    if kind == "ttm-tiled":
+        tiling = _tiling_from_header(header)
+        target = out_path or header.get("out_path")
+        if target is None:
+            raise RecoveryError(
+                f"journal {journal_path} landed no output file (in-RAM "
+                "out=); nothing on disk to verify"
+            )
+        actual = str(target)
+        if not os.path.exists(actual):
+            part = partial_path(actual)
+            if os.path.exists(part):
+                actual = part
+            else:
+                return VerifyReport(str(journal_path), kind, str(target),
+                                    tiling.n_tiles, 0, [], missing=True,
+                                    done=done)
+        from repro.tensor.dense import open_memmap_tensor
+
+        out = open_memmap_tensor(actual, "r")
+        committed = committed_units(records, "tile")
+        mismatched = []
+        specs = {spec.index: spec for spec in tiling.tiles()}
+        for index, record in sorted(committed.items()):
+            spec = specs.get(index)
+            if spec is None:
+                mismatched.append(index)
+                continue
+            crc = region_checksum(out.data[spec.out_slices])
+            if crc != record.get("crc"):
+                mismatched.append(index)
+        return VerifyReport(
+            str(journal_path), kind, actual, tiling.n_tiles,
+            len(committed) - len(mismatched), mismatched, done=done,
+        )
+    if kind in ("hooi", "ttm-stream"):
+        rtype = "sweep" if kind == "hooi" else "chunk"
+        key = rtype
+        committed = committed_units(records, rtype, key=key) or \
+            committed_units(records, rtype)
+        sidecar = header.get("state_path")
+        if sidecar is None:
+            # Streaming with axis != mode hands chunks to the caller;
+            # there is no file of ours to re-read, only the manifest.
+            return VerifyReport(str(journal_path), kind, None,
+                                len(committed), len(committed), [],
+                                done=done)
+        if not os.path.exists(sidecar):
+            return VerifyReport(str(journal_path), kind, sidecar,
+                                len(committed), 0, [], missing=True,
+                                done=done)
+        last = max(committed) if committed else None
+        mismatched = []
+        verified = 0
+        if last is not None:
+            if file_checksum(sidecar) == committed[last].get("crc"):
+                verified = 1
+            else:
+                mismatched.append(last)
+        return VerifyReport(str(journal_path), kind, sidecar,
+                            1 if committed else 0, verified, mismatched,
+                            done=done)
+    raise RecoveryError(
+        f"journal {journal_path} has unknown kind {kind!r}"
+    )
+
+
+# -- operator surface (the `recover` CLI core) ---------------------------------
+
+
+def describe_journal(journal_path) -> list[tuple[str, str]]:
+    """Label/value rows summarizing a journal, for ``recover show``."""
+    header, records = Journal.read(journal_path)
+    kind = header.get("kind", "?")
+    rows = [
+        ("journal", str(journal_path)),
+        ("kind", kind),
+        ("schema", str(header.get("schema"))),
+        ("decision digest", str(header.get("digest"))),
+    ]
+    if kind == "ttm-tiled":
+        tiling = _tiling_from_header(header)
+        committed = committed_units(records, "tile")
+        rows += [
+            ("signature", tiling.describe()),
+            ("tiles committed", f"{len(committed)} / {tiling.n_tiles}"),
+            ("out_path", str(header.get("out_path"))),
+            ("x_path", str(header.get("x_path"))),
+        ]
+    elif kind == "hooi":
+        committed = committed_units(records, "sweep", key="sweep")
+        fit = committed[max(committed)].get("fit") if committed else None
+        rows += [
+            ("sweeps committed", str(len(committed))),
+            ("last fit", "-" if fit is None else f"{fit:.6f}"),
+            ("state_path", str(header.get("state_path"))),
+            ("x_path", str(header.get("x_path"))),
+        ]
+    elif kind == "ttm-stream":
+        committed = committed_units(records, "chunk", key="chunk")
+        rows += [
+            ("chunks committed", str(len(committed))),
+            ("state_path", str(header.get("state_path"))),
+        ]
+    status = "complete" if is_done(records) else "interrupted (resumable)"
+    rows.append(("status", status))
+    return rows
+
+
+def resume_job(journal_path, max_threads: int = 1) -> dict:
+    """Finish an interrupted journaled job from its manifest alone.
+
+    The CLI's ``recover resume``: everything needed to continue must
+    have been recorded at journal-creation time — the input tensor's
+    backing file (``x_path``), the U sidecar, the decision record.
+    Jobs whose inputs were in-RAM only (no recorded paths) are not
+    CLI-resumable; resume those by re-invoking the original API call
+    with the same ``journal_path``.
+    """
+    header, records = Journal.read(journal_path)
+    kind = header.get("kind")
+    if kind == "ttm-tiled":
+        x_path = header.get("x_path")
+        u_path = header.get("u_path")
+        if not x_path or not u_path:
+            raise RecoveryError(
+                f"journal {journal_path} records no input paths (the job "
+                "ran on in-RAM operands); re-invoke ttm_tiled with the "
+                "original operands and the same journal_path to resume"
+            )
+        if header.get("out_path") is None:
+            raise RecoveryError(
+                f"journal {journal_path} landed no output file; re-invoke "
+                "ttm_tiled with the original out= to resume"
+            )
+        from repro.core.tiling import execute_tiled
+        from repro.tensor.dense import open_memmap_tensor
+
+        tiling = _tiling_from_header(header)
+        x = open_memmap_tensor(x_path, "r")
+        u = np.load(u_path)
+        out = execute_tiled(
+            x, u, tiling, out_path=header["out_path"],
+            journal_path=journal_path,
+        )
+        return {"kind": kind, "out_path": header["out_path"],
+                "shape": list(out.shape)}
+    if kind == "hooi":
+        x_path = header.get("x_path")
+        if not x_path:
+            raise RecoveryError(
+                f"journal {journal_path} records no tensor path; re-invoke "
+                "hooi(checkpoint_path=...) with the original tensor to "
+                "resume"
+            )
+        from repro.decomp.tucker import hooi
+        from repro.tensor.dense import open_memmap_tensor
+
+        x = open_memmap_tensor(x_path, "r")
+        result = hooi(
+            x,
+            tuple(header["ranks"]),
+            max_iterations=int(header["max_iterations"]),
+            tolerance=float(header["tolerance"]),
+            svd_method=header.get("svd_method", "auto"),
+            checkpoint_path=journal_path,
+        )
+        return {"kind": kind, "fit": result.fit,
+                "iterations": result.iterations}
+    if kind == "ttm-stream":
+        raise RecoveryError(
+            "streaming jobs consume a live slice source the journal cannot "
+            "reconstruct; resume by re-invoking ttm_stream with the same "
+            "slices and journal_path — committed chunks will be skipped"
+        )
+    raise RecoveryError(f"journal {journal_path} has unknown kind {kind!r}")

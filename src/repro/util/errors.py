@@ -108,6 +108,19 @@ class OverloadError(ReproError, RuntimeError):
         self.tenant = tenant
 
 
+class RecoveryError(ReproError, RuntimeError):
+    """A journaled job cannot be resumed or verified.
+
+    Raised by :mod:`repro.resilience.recovery` when a journal's header
+    does not match the job being resumed (different inputs, tiling
+    decision, or schema version), when a journal is structurally
+    unusable (no header), or when a checkpoint sidecar the journal
+    points at is missing.  Checksum *mismatches* on landed data are not
+    errors — they trigger recomputation (resume) or a failing verify
+    report — because surviving torn writes is the module's job.
+    """
+
+
 class StoreCorruptError(CacheError, PlanError):
     """A cache file is unreadable: truncated, invalid JSON, wrong types."""
 
